@@ -1,0 +1,2 @@
+"""Benchmark harness package (run with
+``pytest benchmarks/ --benchmark-only``)."""

@@ -1,0 +1,212 @@
+"""Ablations of the runtime design choices DESIGN.md calls out.
+
+* **Combiners** (§1's "message reduction"): sender-side min-combining
+  cuts Hash-Min/SSSP network traffic without changing answers.
+* **Partitioners**: hash vs degree-balanced greedy vs adversarial
+  ranges — visible in the per-superstep work imbalance and hence the
+  BSP time.
+* **Bandwidth parameter g**: the paper evaluates at g = O(1) and
+  notes "for higher values of g, the time-processor product would be
+  even higher" — measured here directly.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import HashMinComponents, sssp
+from repro.bsp import MinCombiner, run_program
+from repro.graph import (
+    GreedyEdgeBalancedPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    barabasi_albert_graph,
+    random_weighted_graph,
+)
+from repro.metrics import BSPCostModel
+
+
+def test_min_combiner_cuts_network_traffic(benchmark):
+    graph = barabasi_albert_graph(300, 4, seed=5)
+
+    def run():
+        plain = run_program(
+            graph, HashMinComponents(), num_workers=8
+        )
+        combined = run_program(
+            graph,
+            HashMinComponents(),
+            num_workers=8,
+            combiner=MinCombiner(),
+        )
+        return plain, combined
+
+    plain, combined = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert plain.values == combined.values
+    saved = 1 - (
+        combined.stats.total_network_messages
+        / max(plain.stats.total_network_messages, 1)
+    )
+    print(f"\ncombiner saved {saved:.1%} of network messages")
+    assert (
+        combined.stats.total_network_messages
+        <= plain.stats.total_network_messages
+    )
+
+
+def test_combiner_on_sssp(benchmark):
+    graph = random_weighted_graph(200, 0.05, seed=6)
+
+    def run():
+        plain = sssp(graph, 0, num_workers=8)
+        combined = sssp(
+            graph, 0, num_workers=8, combiner=MinCombiner()
+        )
+        return plain, combined
+
+    plain, combined = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert plain.values == combined.values
+    assert (
+        combined.stats.total_network_messages
+        <= plain.stats.total_network_messages
+    )
+
+
+def test_partitioner_imbalance(benchmark):
+    # A skewed graph punishes partitioners that ignore degree.
+    graph = barabasi_albert_graph(400, 4, seed=7)
+
+    def run():
+        out = {}
+        for name, partitioner in (
+            ("hash", HashPartitioner(8)),
+            ("range", RangePartitioner(graph, 8)),
+            ("greedy", GreedyEdgeBalancedPartitioner(graph, 8)),
+        ):
+            result = run_program(
+                graph,
+                HashMinComponents(),
+                num_workers=8,
+                partitioner=partitioner,
+            )
+            out[name] = (
+                result.stats.max_imbalance,
+                result.stats.bsp_time,
+            )
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\npartitioner (imbalance, bsp time):", stats)
+    # The degree-aware greedy partitioner is never *worse* balanced
+    # than the adversarial range split.
+    assert stats["greedy"][0] <= stats["range"][0] * 1.25
+
+
+def test_serial_finish_optimization(benchmark):
+    # §1's "finishing computations serially": cut the Pregel phase
+    # when activity drops and finish with one O(m+n) pass.
+    from repro.algorithms import (
+        hash_min_components,
+        hash_min_with_serial_finish,
+    )
+    from repro.graph import path_graph
+    from repro.sequential import connected_components
+
+    graph = path_graph(400)
+
+    def run():
+        pure = hash_min_components(graph)
+        optimized = hash_min_with_serial_finish(graph, threshold=0.5)
+        return pure, optimized
+
+    pure, optimized = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert optimized.values == connected_components(graph)
+    saved = 1 - (
+        optimized.combined_cost
+        / pure.stats.time_processor_product
+    )
+    print(
+        f"\nserial finish: supersteps {pure.num_supersteps} -> "
+        f"{optimized.num_supersteps}, cost saved {saved:.1%}"
+    )
+    assert optimized.combined_cost < pure.stats.time_processor_product
+
+
+def test_bfs_grow_partitioner_locality(benchmark):
+    # §1's "graph partitioning": contiguous regions keep messages
+    # worker-local.
+    from repro.graph import BfsGrowPartitioner, grid_graph
+
+    graph = grid_graph(20, 20)
+
+    def run():
+        hashed = run_program(
+            graph,
+            HashMinComponents(),
+            num_workers=8,
+            partitioner=HashPartitioner(8),
+        )
+        grown = run_program(
+            graph,
+            HashMinComponents(),
+            num_workers=8,
+            partitioner=BfsGrowPartitioner(graph, 8),
+        )
+        return hashed, grown
+
+    hashed, grown = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert hashed.values == grown.values
+    reduction = 1 - (
+        grown.stats.total_remote_messages
+        / max(hashed.stats.total_remote_messages, 1)
+    )
+    print(f"\nBFS-grow cut remote messages by {reduction:.1%}")
+    assert (
+        grown.stats.total_remote_messages
+        < hashed.stats.total_remote_messages
+    )
+
+
+def test_sum_combiner_on_pagerank(benchmark):
+    from repro.algorithms import PageRank
+    from repro.bsp import SumCombiner
+
+    graph = barabasi_albert_graph(300, 4, seed=9)
+
+    def run():
+        plain = run_program(
+            graph, PageRank(num_supersteps=15), num_workers=8
+        )
+        combined = run_program(
+            graph,
+            PageRank(num_supersteps=15),
+            num_workers=8,
+            combiner=SumCombiner(),
+        )
+        return plain, combined
+
+    plain, combined = benchmark.pedantic(run, rounds=1, iterations=1)
+    for v in graph.vertices():
+        assert abs(plain.values[v] - combined.values[v]) < 1e-12
+    assert (
+        combined.stats.total_network_messages
+        <= plain.stats.total_network_messages
+    )
+
+
+def test_bandwidth_parameter_raises_tpp(benchmark):
+    graph = barabasi_albert_graph(300, 4, seed=8)
+
+    def run():
+        out = []
+        for g_param in (1.0, 4.0, 16.0):
+            result = run_program(
+                graph,
+                HashMinComponents(),
+                num_workers=8,
+                cost_model=BSPCostModel(g=g_param),
+            )
+            out.append(result.stats.time_processor_product)
+        return out
+
+    tpps = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nTPP at g=1,4,16: {[round(t) for t in tpps]}")
+    assert tpps[0] <= tpps[1] <= tpps[2]

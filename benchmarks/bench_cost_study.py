@@ -1,0 +1,92 @@
+"""The §1 motivation: McSherry's "scalability, but at what COST?".
+
+Sweeps the simulated worker count for PageRank and Hash-Min and
+checks the observation's shape: BSP time falls with workers, the
+time-processor product only rises, and a slower network (larger ``g``)
+pushes the break-even point against the single-threaded baseline out.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import HashMinComponents, PageRank
+from repro.core import cost_study
+from repro.graph import barabasi_albert_graph
+from repro.metrics import BSPCostModel
+from repro.sequential import connected_components, pagerank
+
+WORKERS = (1, 2, 4, 8, 16, 32)
+
+
+def _graph():
+    return barabasi_albert_graph(400, 4, seed=2)
+
+
+def test_pagerank_scaling(benchmark):
+    graph = _graph()
+
+    def run():
+        return cost_study(
+            graph,
+            make_program=lambda: PageRank(num_supersteps=20),
+            run_sequential=lambda g, ops: pagerank(
+                g, num_iterations=20, counter=ops
+            ),
+            workload="pagerank",
+            worker_counts=WORKERS,
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    times = [p.bsp_time for p in study.points]
+    tpps = [p.time_processor_product for p in study.points]
+    print(f"\npagerank T(p): {[round(t) for t in times]}")
+    print(f"pagerank p*T(p): {[round(t) for t in tpps]}")
+    assert times[0] > times[-1]          # it does scale ...
+    assert tpps[-1] > tpps[0]            # ... by spending more total
+
+
+def test_hashmin_scaling(benchmark):
+    graph = _graph()
+
+    def run():
+        return cost_study(
+            graph,
+            make_program=HashMinComponents,
+            run_sequential=lambda g, ops: connected_components(g, ops),
+            workload="hash-min",
+            worker_counts=WORKERS,
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Hash-Min does Θ(mδ)-class work versus the O(m+n) BFS: the COST
+    # is high or unbounded — McSherry's observation.
+    cost = study.cost
+    print(f"\nhash-min COST: {cost}")
+    assert cost is None or cost > 1
+
+
+def test_slow_network_raises_cost(benchmark):
+    graph = _graph()
+
+    def run(g_param):
+        return cost_study(
+            graph,
+            make_program=lambda: PageRank(num_supersteps=20),
+            run_sequential=lambda g, ops: pagerank(
+                g, num_iterations=20, counter=ops
+            ),
+            workload=f"pagerank-g{g_param}",
+            worker_counts=WORKERS,
+            cost_model=BSPCostModel(g=g_param),
+        )
+
+    studies = benchmark.pedantic(
+        lambda: (run(1.0), run(20.0)), rounds=1, iterations=1
+    )
+    fast, slow = studies
+    fast_cost = fast.cost or 10**9
+    slow_cost = slow.cost or 10**9
+    print(f"\nCOST at g=1: {fast.cost}, at g=20: {slow.cost}")
+    assert slow_cost >= fast_cost
+    # Per-worker times never improve under the slower network.
+    for f, s in zip(fast.points, slow.points):
+        assert s.bsp_time >= f.bsp_time

@@ -1,0 +1,197 @@
+"""§3.8: workloads that fit the vertex-centric model badly.
+
+Triangle counting needs edges *between neighbors* — a subgraph-centric
+view.  The vertex-centric rendering ships wedge candidates as
+messages; on skewed (scale-free) graphs hub neighborhoods make the
+message volume quadratic in hub degree, dwarfing the sequential
+forward-intersection counter.  The bench measures that blow-up and
+its growth with skew.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import count_triangles
+from repro.graph import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    star_graph,
+)
+from repro.metrics import OpCounter
+from repro.sequential import count_triangles as seq_triangles
+
+
+def test_triangles_on_scale_free(benchmark):
+    graph = barabasi_albert_graph(400, 4, seed=3)
+
+    def run():
+        return count_triangles(graph)
+
+    total, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ops = OpCounter()
+    assert seq_triangles(graph, ops) == total
+    ratio = result.stats.total_work / ops.ops
+    print(
+        f"\nscale-free triangles: {total}; vertex-centric work / "
+        f"sequential ops = {ratio:.2f} "
+        f"({result.stats.total_messages} wedge messages)"
+    )
+    assert ratio > 1.0
+
+
+def test_triangle_messages_quadratic_in_hub_degree(benchmark):
+    degrees = (32, 64, 128, 256)
+
+    def sweep():
+        out = []
+        for d in degrees:
+            _, result = count_triangles(star_graph(d + 1))
+            out.append(result.stats.total_messages)
+        return out
+
+    messages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nstar hubs: degree={degrees} wedge messages={messages}")
+    for d, msgs in zip(degrees, messages):
+        assert msgs == d * (d - 1) // 2  # exactly C(d, 2)
+
+
+def test_online_point_queries_waste(benchmark):
+    # §3.8 point 1: "vertex-centric model usually operates on the
+    # entire graph, which is often not necessary for online ad-hoc
+    # queries".  A fixed nearby s→t query costs the sequential
+    # early-exit Dijkstra a constant ball; the vertex-centric job's
+    # work grows with n (every vertex participates in superstep 0).
+    from repro.algorithms import point_to_point_distance
+    from repro.graph import grid_graph
+    from repro.sequential import dijkstra_to_target
+
+    sides = (8, 16, 32, 64)
+
+    def sweep():
+        out = []
+        for side in sides:
+            g = grid_graph(side, side)
+            _, result = point_to_point_distance(g, (0, 0), (2, 2))
+            ops = OpCounter()
+            assert dijkstra_to_target(g, (0, 0), (2, 2), ops) == 4.0
+            out.append((result.stats.total_work, ops.ops))
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n(vc work, seq ops) by grid side: {series}")
+    vc = [w for w, _ in series]
+    seq = [o for _, o in series]
+    assert max(seq) <= 1.5 * min(seq)       # locality on the seq side
+    assert vc[-1] > 20 * vc[0]              # n-growth on the vc side
+
+
+def test_subgraph_centric_fixes_triangles(benchmark):
+    # §3.8's prescription, implemented: the subgraph-centric (block)
+    # protocol fetches each external neighborhood once, so remote
+    # traffic tracks the partition cut instead of Σ C(d, 2).
+    from repro.algorithms import block_triangle_count
+
+    graph = barabasi_albert_graph(300, 5, seed=13)
+
+    def run():
+        vc_total, vc_run = count_triangles(graph, num_workers=4)
+        block_total, block_run = block_triangle_count(
+            graph, num_blocks=4
+        )
+        return vc_total, vc_run, block_total, block_run
+
+    vc_total, vc_run, block_total, block_run = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert vc_total == block_total == seq_triangles(graph)
+    reduction = (
+        vc_run.stats.total_messages
+        / max(block_run.stats.total_remote_messages, 1)
+    )
+    print(
+        f"\ntriangles: vertex-centric shipped "
+        f"{vc_run.stats.total_messages} wedges; subgraph-centric "
+        f"moved {block_run.stats.total_remote_messages} remote "
+        f"messages ({reduction:.1f}x less)"
+    )
+    assert reduction > 3
+
+
+def test_subgraph_centric_collapses_path_supersteps(benchmark):
+    # Giraph++'s "think like a graph": in-block fixpoints beat the
+    # Θ(δ) superstep count on long-diameter graphs.
+    from repro.algorithms import block_hash_min, hash_min_components
+    from repro.graph import path_graph
+    from repro.sequential import connected_components
+
+    graph = path_graph(512)
+
+    def run():
+        labels, block_run = block_hash_min(graph, num_blocks=8)
+        vertex_run = hash_min_components(graph)
+        return labels, block_run, vertex_run
+
+    labels, block_run, vertex_run = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert labels == connected_components(graph)
+    print(
+        f"\nsupersteps: vertex-centric={vertex_run.num_supersteps} "
+        f"subgraph-centric={block_run.num_supersteps}"
+    )
+    assert block_run.num_supersteps <= 12
+    assert vertex_run.num_supersteps >= 512
+
+
+def test_weighted_betweenness_expressibility_cost(benchmark):
+    # §3.8 point 4 asks whether weighted betweenness is even
+    # implementable vertex-centrically.  It is (see
+    # repro.algorithms.betweenness_weighted) — at a steep superstep
+    # price: Bellman-Ford forward phases plus DAG-ordered waves per
+    # source, versus one Dijkstra per source sequentially.
+    from repro.algorithms import (
+        betweenness_centrality as vc_unweighted,
+        weighted_betweenness,
+        weighted_betweenness_values,
+    )
+    from repro.graph import random_weighted_graph
+    from repro.sequential import weighted_betweenness_centrality
+
+    graph = random_weighted_graph(
+        24, 0.2, seed=12, distinct_weights=False
+    )
+
+    def run():
+        return weighted_betweenness(graph)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = weighted_betweenness_values(result)
+    ops = OpCounter()
+    reference = weighted_betweenness_centrality(graph, ops)
+    for v in graph.vertices():
+        assert abs(values[v] - reference[v]) < 1e-6
+    ratio = result.stats.time_processor_product / ops.ops
+    unweighted = vc_unweighted(graph)
+    print(
+        f"\nweighted betweenness: {result.num_supersteps} supersteps "
+        f"(unweighted Brandes needed {unweighted.num_supersteps}); "
+        f"TPP/seq = {ratio:.2f}"
+    )
+    assert result.num_supersteps > unweighted.num_supersteps
+
+
+def test_triangles_er_vs_sequential(benchmark):
+    sizes = (64, 128, 256)
+
+    def sweep():
+        out = []
+        for n in sizes:
+            graph = erdos_renyi_graph(n, 16.0 / n, seed=4)
+            total, result = count_triangles(graph)
+            ops = OpCounter()
+            assert seq_triangles(graph, ops) == total
+            out.append(result.stats.total_work / ops.ops)
+        return out
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nER triangles work ratio by n: {ratios}")
+    assert all(r > 0.5 for r in ratios)

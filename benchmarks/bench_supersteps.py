@@ -1,0 +1,106 @@
+"""Superstep-scaling benches — the figure-level claims.
+
+The paper's Figures 2–4 and the §3.3–3.4 prose make three concrete
+iteration-count claims; each bench measures the series and asserts
+its shape:
+
+* **Hash-Min needs Θ(δ) supersteps** (§3.3.1, "e.g., for a
+  straight-line graph") — linear in n on paths, near-constant on
+  expanders.
+* **S-V finishes in O(log n) supersteps** (§3.3.2, Figs. 2–3).
+* **List ranking finishes in O(log n) rounds with O(n log n) total
+  messages** (§3.4.2, Fig. 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms import (
+    hash_min_components,
+    list_ranking,
+    sv_components,
+)
+from repro.graph import (
+    connected_erdos_renyi_graph,
+    linked_list_graph,
+    path_graph,
+)
+from repro.metrics import growth_exponent, grows_at_most_logarithmically
+
+
+def test_hashmin_supersteps_linear_on_paths(benchmark):
+    sizes = (64, 128, 256, 512)
+
+    def sweep():
+        return [
+            hash_min_components(path_graph(n)).num_supersteps
+            for n in sizes
+        ]
+
+    supersteps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nhash-min on paths: n={sizes} supersteps={supersteps}")
+    assert growth_exponent(sizes, supersteps) > 0.9  # Θ(δ) = Θ(n)
+
+
+def test_hashmin_supersteps_small_on_expanders(benchmark):
+    sizes = (64, 128, 256, 512)
+
+    def sweep():
+        return [
+            hash_min_components(
+                connected_erdos_renyi_graph(n, 8.0 / n, seed=1)
+            ).num_supersteps
+            for n in sizes
+        ]
+
+    supersteps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        f"\nhash-min on expanders: n={sizes} supersteps={supersteps}"
+    )
+    assert grows_at_most_logarithmically(sizes, supersteps)
+
+
+def test_sv_supersteps_logarithmic_on_paths(benchmark):
+    sizes = (64, 128, 256, 512, 1024)
+
+    def sweep():
+        return [
+            sv_components(path_graph(n)).num_supersteps for n in sizes
+        ]
+
+    supersteps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rounds = [s // 16 for s in supersteps]
+    print(f"\nS-V on paths: n={sizes} rounds={rounds}")
+    assert grows_at_most_logarithmically(sizes, supersteps)
+    # S-V's 16-superstep round constant loses to Hash-Min's Θ(n) on
+    # tiny paths but wins decisively once n outgrows 16·log2(n).
+    assert supersteps[-1] < sizes[-1]
+    growth = supersteps[-1] / supersteps[0]
+    assert growth < (sizes[-1] / sizes[0]) / 4  # far sublinear
+
+
+def test_list_ranking_rounds_and_messages(benchmark):
+    sizes = (64, 128, 256, 512, 1024)
+
+    def sweep():
+        out = []
+        for n in sizes:
+            _, result = list_ranking(linked_list_graph(n, seed=2))
+            out.append(
+                (result.num_supersteps, result.stats.total_messages)
+            )
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    supersteps = [s for s, _ in series]
+    messages = [m for _, m in series]
+    print(
+        f"\nlist ranking: n={sizes} supersteps={supersteps} "
+        f"messages={messages}"
+    )
+    assert grows_at_most_logarithmically(sizes, supersteps)
+    for n, msgs in zip(sizes, messages):
+        assert msgs <= 6 * n * math.log2(n)  # O(n log n)
+    # Superlinear: the log factor is real.
+    assert growth_exponent(sizes, messages) > 1.02

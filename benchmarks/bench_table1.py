@@ -1,0 +1,145 @@
+"""The Table 1 harness: one benchmark per row.
+
+Each bench regenerates its row — the full paired size sweep of the
+vertex-centric algorithm (on the simulated Pregel runtime) against
+the sequential baseline — asserts the measured More-Work / BPPA
+verdicts against the paper's published column values, and reports the
+regeneration time.  The combined table is printed and written to
+``benchmarks/table1_output.txt`` at session end.
+
+Run with::
+
+    pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_row_matches_paper, record_row
+from repro.core.table1 import ROWS, run_row
+
+_SPEC_BY_ROW = {spec.row: spec for spec in ROWS}
+
+
+def _regenerate(benchmark, row_number: int):
+    spec = _SPEC_BY_ROW[row_number]
+    row = benchmark.pedantic(
+        lambda: run_row(spec, seed=0), rounds=1, iterations=1
+    )
+    record_row(row)
+    assert_row_matches_paper(row)
+    return row
+
+
+def test_row01_diameter(benchmark):
+    row = _regenerate(benchmark, 1)
+    # Row 1 extras: TPP matches the sequential O(mn) (bounded ratio)
+    # and the history sets blow past O(d(v)) storage.
+    assert row.result.final_ratio < 5
+    assert not row.result.bppa.p1_storage_balanced
+
+
+def test_row02_pagerank(benchmark):
+    row = _regenerate(benchmark, 2)
+    # Balanced (P1-P3 hold) but the fixed 30-iteration budget exceeds
+    # log2 n — "balanced but not BPPA".
+    assert row.result.bppa.is_balanced
+    assert not row.result.bppa.p4_logarithmic_supersteps
+
+
+def test_row03_cc_hashmin(benchmark):
+    row = _regenerate(benchmark, 3)
+    # O(δ) supersteps on paths: superstep count tracks n.
+    supersteps = [m.supersteps for m in row.result.measurements]
+    sizes = [m.size for m in row.result.measurements]
+    assert supersteps[-1] >= sizes[-1]
+
+
+def test_row04_cc_shiloach_vishkin(benchmark):
+    row = _regenerate(benchmark, 4)
+    # O(log n) supersteps: far fewer than Hash-Min's O(δ) on paths.
+    last = row.result.measurements[-1]
+    assert last.supersteps < last.size
+
+
+def test_row05_biconnected(benchmark):
+    _regenerate(benchmark, 5)
+
+
+def test_row06_wcc(benchmark):
+    _regenerate(benchmark, 6)
+
+
+def test_row07_scc(benchmark):
+    _regenerate(benchmark, 7)
+
+
+def test_row08_euler_tour(benchmark):
+    row = _regenerate(benchmark, 8)
+    # The paper's one good citizen: BPPA and no more work.
+    assert row.result.bppa.is_bppa
+    assert not row.result.more_work
+    assert all(m.supersteps == 2 for m in row.result.measurements)
+
+
+def test_row09_tree_traversal(benchmark):
+    row = _regenerate(benchmark, 9)
+    # BPPA, yet the list-ranking log factor makes it more work.
+    assert row.result.bppa.is_bppa
+    assert row.result.more_work
+
+
+def test_row10_spanning_tree(benchmark):
+    _regenerate(benchmark, 10)
+
+
+def test_row11_mst(benchmark):
+    _regenerate(benchmark, 11)
+
+
+def test_row12_coloring(benchmark):
+    _regenerate(benchmark, 12)
+
+
+def test_row13_max_weight_matching(benchmark):
+    row = _regenerate(benchmark, 13)
+    # The increasing-weight path serializes the dominance rounds.
+    last = row.result.measurements[-1]
+    assert last.supersteps >= last.size
+
+
+def test_row14_bipartite_matching(benchmark):
+    row = _regenerate(benchmark, 14)
+    # Borderline cell (documented in EXPERIMENTS.md): the measured
+    # work ratio sits between the flat and log-factor bands — the
+    # O(log n) round growth is real but message volume decays
+    # geometrically, so the verdict flips with the sweep's sampling.
+    # Both verdicts are acceptable here; the BPPA column is firm.
+    assert row.result.bppa.is_bppa
+    ratios = row.result.ratios
+    assert max(ratios) < 2.0 * min(ratios)  # never a clear gap
+
+
+def test_row15_betweenness(benchmark):
+    _regenerate(benchmark, 15)
+
+
+def test_row16_sssp(benchmark):
+    _regenerate(benchmark, 16)
+
+
+def test_row17_apsp(benchmark):
+    _regenerate(benchmark, 17)
+
+
+def test_row18_graph_simulation(benchmark):
+    _regenerate(benchmark, 18)
+
+
+def test_row19_dual_simulation(benchmark):
+    _regenerate(benchmark, 19)
+
+
+def test_row20_strong_simulation(benchmark):
+    _regenerate(benchmark, 20)

@@ -1,0 +1,77 @@
+"""Three execution paradigms, one workload (§1 of the paper).
+
+The paper's introduction surveys the models proposed to fix Pregel's
+pain points: gather-apply-scatter (PowerGraph) against hub imbalance,
+and asynchronous execution (GraphLab) against wavefront waste.  This
+example runs connected components under all three engines on the same
+graphs and prints the quantities each paradigm is supposed to improve.
+
+Run with::
+
+    python examples/paradigm_comparison.py
+"""
+
+from repro.algorithms import (
+    HashMinComponents,
+    HashMinGAS,
+    block_hash_min,
+)
+from repro.bsp import run_async, run_gas, run_program
+from repro.graph import path_graph, star_graph
+from repro.sequential import connected_components
+
+
+def compare(name, graph) -> None:
+    print(f"=== {name}: n={graph.num_vertices} m={graph.num_edges}")
+    expected = connected_components(graph)
+
+    pregel = run_program(graph, HashMinComponents(), num_workers=8)
+    assert pregel.values == expected
+    pregel_h = max(s.h for s in pregel.stats.supersteps)
+    print(
+        f"  Pregel : supersteps={pregel.num_supersteps:>4} "
+        f"max-h={pregel_h:>5} bsp-time={pregel.stats.bsp_time:>8.0f}"
+    )
+
+    gas = run_gas(graph, HashMinGAS(), num_workers=8)
+    assert gas.values == expected
+    gas_h = max(s.h for s in gas.stats.supersteps)
+    print(
+        f"  GAS    : iterations={gas.num_iterations:>4} "
+        f"max-h={gas_h:>5} bsp-time={gas.stats.bsp_time:>8.0f} "
+        "(mirrors flatten hub traffic)"
+    )
+
+    async_run = run_async(graph, HashMinGAS())
+    assert async_run.values == expected
+    print(
+        f"  async  : updates={async_run.updates:>6} "
+        f"edge-reads={async_run.edge_reads:>6} "
+        "(no barrier, no wavefront waste)"
+    )
+
+    labels, block_run = block_hash_min(graph, num_blocks=8)
+    assert labels == expected
+    print(
+        f"  blocks : supersteps={block_run.num_supersteps:>4} "
+        f"remote-msgs={block_run.stats.total_remote_messages:>5} "
+        "(in-block fixpoints, think-like-a-graph)"
+    )
+    print()
+
+
+def main() -> None:
+    # A hub-dominated graph: Pregel's h-relation pain.
+    compare("star (hub degree 400)", star_graph(401))
+    # A long-diameter graph: the synchronous wavefront pain.
+    compare("path (diameter 299)", path_graph(300))
+    print(
+        "The star shows PowerGraph's point (GAS max-h stays near the "
+        "worker count);\nthe path shows GraphLab's (async needs ~n "
+        "updates where synchronous\nengines re-apply the whole "
+        "frontier every round)."
+    )
+
+
+if __name__ == "__main__":
+    main()

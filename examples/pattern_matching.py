@@ -1,0 +1,102 @@
+"""Graph pattern matching by simulation (Table 1 rows 18–20).
+
+A toy "who-mentions-whom" graph over labeled accounts: ``user``,
+``bot`` and ``news`` vertices.  The query asks for a *bot
+amplification loop*: a bot that mentions a news account which is
+mentioned by a user the bot also reaches.  Graph simulation,
+dual simulation and strong simulation give increasingly strict
+answers — the relation shrinks at every step, exactly as in Ma et al.
+
+Run with::
+
+    python examples/pattern_matching.py
+"""
+
+import random
+
+from repro.algorithms import (
+    dual_simulation,
+    graph_simulation,
+    strong_simulation,
+)
+from repro.graph import Graph
+from repro.sequential import (
+    dual_simulation as seq_dual,
+    graph_simulation as seq_sim,
+    strong_simulation as seq_strong,
+)
+
+
+def build_mention_graph(seed: int = 5) -> Graph:
+    rng = random.Random(seed)
+    g = Graph(directed=True)
+    labels = ["user"] * 30 + ["bot"] * 10 + ["news"] * 8
+    for vid, label in enumerate(labels):
+        g.add_vertex(vid, label=label)
+    n = len(labels)
+    for _ in range(140):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    # Plant two genuine amplification loops.
+    for bot, news, user in ((30, 40, 0), (31, 41, 1)):
+        g.add_edge(bot, news)
+        g.add_edge(news, user)
+        g.add_edge(user, bot)
+    return g
+
+
+def build_query() -> Graph:
+    q = Graph(directed=True)
+    q.add_vertex("B", label="bot")
+    q.add_vertex("N", label="news")
+    q.add_vertex("U", label="user")
+    q.add_edge("B", "N")
+    q.add_edge("N", "U")
+    q.add_edge("U", "B")
+    return q
+
+
+def show(name: str, relation) -> None:
+    sizes = {q: len(matches) for q, matches in relation.items()}
+    print(f"  {name:<18} match-set sizes: {sizes}")
+
+
+def main() -> None:
+    data = build_mention_graph()
+    query = build_query()
+    print(
+        f"mention graph: n={data.num_vertices} m={data.num_edges}; "
+        "query: bot -> news -> user -> bot"
+    )
+
+    plain, plain_run = graph_simulation(data, query)
+    assert plain == seq_sim(data, query)
+    show("graph simulation", plain)
+
+    dual, dual_run = dual_simulation(data, query)
+    assert dual == seq_dual(data, query)
+    show("dual simulation", dual)
+    for q in query.vertices():
+        assert dual[q] <= plain[q]
+
+    strong = strong_simulation(data, query)
+    assert strong.output == seq_strong(data, query)
+    centers = sorted(strong.output)
+    print(
+        f"  strong simulation  perfect-subgraph centers: {centers}"
+    )
+    print(
+        f"\nsupersteps: simulation={plain_run.num_supersteps}, "
+        f"dual={dual_run.num_supersteps}, "
+        f"strong={strong.num_supersteps} (dual pass + ball "
+        "gathering)"
+    )
+    print(
+        "every refinement agrees with the sequential HHK / Ma et "
+        "al. baselines."
+    )
+
+
+if __name__ == "__main__":
+    main()

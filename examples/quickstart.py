@@ -1,0 +1,71 @@
+"""Quickstart: run two vertex-centric algorithms and read the meters.
+
+The library has three moving parts:
+
+1. a graph (``repro.graph``),
+2. a vertex program executed by the simulated Pregel runtime
+   (``repro.algorithms`` / ``repro.bsp``),
+3. the measurements the paper's benchmark is built on — supersteps,
+   messages, the BSP time-processor product, and the BPPA balance
+   factors.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.algorithms import hash_min_components, pagerank
+from repro.graph import connected_erdos_renyi_graph
+from repro.sequential import connected_components
+
+
+def main() -> None:
+    # A small connected random graph.
+    graph = connected_erdos_renyi_graph(200, 0.03, seed=7)
+    print(
+        f"graph: n={graph.num_vertices} m={graph.num_edges} "
+        f"(connected Erdős–Rényi)"
+    )
+
+    # --- PageRank (Table 1 row 2) --------------------------------------
+    result = pagerank(graph, num_supersteps=30, num_workers=4)
+    top = sorted(
+        result.values.items(), key=lambda kv: kv[1], reverse=True
+    )[:5]
+    print("\nPageRank (30 supersteps):")
+    for vertex, rank in top:
+        print(f"  vertex {vertex:>4}  rank {rank:.5f}")
+    stats = result.stats
+    print(
+        f"  supersteps={result.num_supersteps} "
+        f"messages={stats.total_messages} "
+        f"TPP={stats.time_processor_product:.0f}"
+    )
+
+    # --- Connected components (row 3, Hash-Min) ------------------------
+    result = hash_min_components(graph, num_workers=4)
+    labels = result.values
+    print("\nHash-Min connected components:")
+    print(f"  components: {len(set(labels.values()))}")
+    print(
+        f"  supersteps={result.num_supersteps} "
+        f"messages={result.stats.total_messages}"
+    )
+    # The sequential baseline gives the same answer in O(m + n).
+    assert labels == connected_components(graph)
+    print("  matches the sequential BFS labeling: yes")
+
+    # --- What the paper measures ---------------------------------------
+    bppa = result.bppa
+    print("\nBPPA balance factors for Hash-Min on this graph:")
+    print(f"  P1 storage/deg  {bppa.storage_factor:.2f}")
+    print(f"  P2 compute/deg  {bppa.compute_factor:.2f}")
+    print(f"  P3 messages/deg {bppa.message_factor:.2f}")
+    print(
+        "  (all O(1): Hash-Min is balanced per superstep — its "
+        "problem is the O(δ) superstep count, visible on paths)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Social-network analytics on a scale-free graph.
+
+The intro workload Pregel papers motivate: influence ranking
+(PageRank), community structure (connected components), brokerage
+(betweenness centrality) and the §3.8 stress case — triangle counting,
+where hub neighborhoods must be shipped as messages.
+
+Run with::
+
+    python examples/social_network_analysis.py
+"""
+
+from repro.algorithms import (
+    betweenness_centrality,
+    betweenness_values,
+    count_triangles,
+    hash_min_components,
+    pagerank,
+)
+from repro.graph import barabasi_albert_graph, max_degree
+from repro.sequential import count_triangles as seq_triangles
+
+
+def main() -> None:
+    # Preferential attachment: a few hubs, many leaves.
+    network = barabasi_albert_graph(300, 3, seed=11)
+    print(
+        f"scale-free network: n={network.num_vertices} "
+        f"m={network.num_edges} max_degree={max_degree(network)}"
+    )
+
+    # Influence: PageRank with convergence-based stopping.
+    ranks = pagerank(network, num_supersteps=60, tolerance=1e-6)
+    influencers = sorted(
+        ranks.values.items(), key=lambda kv: kv[1], reverse=True
+    )[:5]
+    print(
+        f"\ntop influencers (PageRank, converged after "
+        f"{ranks.num_supersteps} supersteps):"
+    )
+    for vertex, rank in influencers:
+        print(
+            f"  vertex {vertex:>4}  rank {rank:.5f}  "
+            f"degree {network.degree(vertex)}"
+        )
+
+    # Community structure (one giant component for BA graphs).
+    comps = hash_min_components(network)
+    print(
+        f"\ncomponents: {len(set(comps.values.values()))} "
+        f"(found in {comps.num_supersteps} supersteps)"
+    )
+
+    # Brokerage: betweenness with source sampling (row 15's O(mn)
+    # full computation is the benchmark's job, not the analyst's).
+    sample = list(range(0, 300, 15))
+    bc = betweenness_centrality(network, sources=sample)
+    brokers = sorted(
+        betweenness_values(bc).items(),
+        key=lambda kv: kv[1],
+        reverse=True,
+    )[:5]
+    print(f"\ntop brokers (betweenness over {len(sample)} sources):")
+    for vertex, score in brokers:
+        print(f"  vertex {vertex:>4}  score {score:.1f}")
+
+    # §3.8 stress case: triangle counting ships neighborhoods.
+    triangles, tri_result = count_triangles(network)
+    assert triangles == seq_triangles(network)
+    print(
+        f"\ntriangles: {triangles} "
+        f"(vertex-centric, {tri_result.stats.total_messages} wedge "
+        "messages — the neighborhood-shipping overhead §3.8 warns "
+        "about)"
+    )
+
+
+if __name__ == "__main__":
+    main()

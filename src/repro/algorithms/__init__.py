@@ -1,0 +1,200 @@
+"""The twenty vertex-centric algorithms of Table 1 (plus the §3.8
+triangle-counting stress case), implemented as genuine Pregel vertex
+programs on the simulated runtime.
+
+Row index:
+
+====  =====================================  ==========================
+Row    Workload                              Entry point
+====  =====================================  ==========================
+1      Diameter (unweighted)                 :func:`diameter`
+2      PageRank                              :func:`pagerank`
+3      Connected components (Hash-Min)       :func:`hash_min_components`
+4      Connected components (S-V)            :func:`sv_components`
+5      Bi-connected components               :func:`biconnected_components`
+6      Weakly connected components           :func:`weakly_connected_components`
+7      Strongly connected components         :func:`scc`
+8      Euler tour of tree                    :func:`euler_tour`
+9      Pre-/post-order traversal             :func:`tree_traversal`
+10     Spanning tree                         :func:`sv_spanning_forest`
+11     Minimum cost spanning tree            :func:`minimum_spanning_tree`
+12     Graph coloring via MIS                :func:`luby_coloring`
+13     Max-weight matching (Preis)           :func:`locally_dominant_matching`
+14     Bipartite maximal matching            :func:`bipartite_matching`
+15     Betweenness centrality                :func:`betweenness_centrality`
+16     Single-source shortest paths          :func:`sssp`
+17     All-pairs shortest paths              :func:`apsp`
+18     Graph simulation                      :func:`graph_simulation`
+19     Dual simulation                       :func:`dual_simulation`
+20     Strong simulation                     :func:`strong_simulation`
+====  =====================================  ==========================
+"""
+
+from repro.algorithms.betweenness import (
+    BrandesBetweenness,
+    betweenness_centrality,
+    betweenness_values,
+)
+from repro.algorithms.betweenness_weighted import (
+    WeightedBetweenness,
+    weighted_betweenness,
+    weighted_betweenness_values,
+)
+from repro.algorithms.bfs_tree import BFSTree, bfs_tree
+from repro.algorithms.bicc import biconnected_components
+from repro.algorithms.block_programs import (
+    BlockHashMin,
+    BlockTriangleCounting,
+    block_hash_min,
+    block_triangle_count,
+)
+from repro.algorithms.cc_hashmin import (
+    HashMinComponents,
+    hash_min_components,
+)
+from repro.algorithms.clustering import (
+    LocalClusteringCoefficient,
+    average_clustering,
+    local_clustering,
+)
+from repro.algorithms.cc_sv import (
+    ShiloachVishkin,
+    sv_component_labels,
+    sv_components,
+    sv_spanning_forest,
+)
+from repro.algorithms.coloring_mis import (
+    LubyMISColoring,
+    coloring_from_result,
+    luby_coloring,
+)
+from repro.algorithms.common import PipelineResult, as_pipeline
+from repro.algorithms.diameter import EccentricityFlood, apsp, diameter
+from repro.algorithms.gas_programs import (
+    HashMinGAS,
+    PageRankGAS,
+    SsspGAS,
+    hash_min_gas,
+    pagerank_gas,
+    sssp_gas,
+)
+from repro.algorithms.euler_tour import (
+    EulerTour,
+    euler_tour,
+    tour_from_successors,
+)
+from repro.algorithms.list_ranking import ListRanking, list_ranking
+from repro.algorithms.matching_bipartite import (
+    BipartiteMatching,
+    bipartite_matching,
+)
+from repro.algorithms.matching_preis import (
+    LocallyDominantMatching,
+    locally_dominant_matching,
+)
+from repro.algorithms.mst_boruvka import BoruvkaMST, minimum_spanning_tree
+from repro.algorithms.optimizations import (
+    HashMinWithEarlyExit,
+    SerialFinishResult,
+    hash_min_with_serial_finish,
+)
+from repro.algorithms.point_queries import (
+    PointToPointShortestPath,
+    ReachabilityQuery,
+    is_reachable,
+    point_to_point_distance,
+)
+from repro.algorithms.pagerank import PageRank, pagerank
+from repro.algorithms.scc import ColoringSCC, scc, scc_labels
+from repro.algorithms.simulation import (
+    BallGathering,
+    SimulationProgram,
+    dual_simulation,
+    graph_simulation,
+    strong_simulation,
+)
+from repro.algorithms.sssp import SingleSourceShortestPaths, sssp
+from repro.algorithms.tree_traversal import (
+    TwinExchangeMarking,
+    tree_traversal,
+)
+from repro.algorithms.triangles import TriangleCounting, count_triangles
+from repro.algorithms.wcc import (
+    WeaklyConnectedComponents,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "BrandesBetweenness",
+    "betweenness_centrality",
+    "betweenness_values",
+    "WeightedBetweenness",
+    "weighted_betweenness",
+    "weighted_betweenness_values",
+    "BFSTree",
+    "bfs_tree",
+    "biconnected_components",
+    "BlockHashMin",
+    "BlockTriangleCounting",
+    "block_hash_min",
+    "block_triangle_count",
+    "HashMinComponents",
+    "hash_min_components",
+    "LocalClusteringCoefficient",
+    "average_clustering",
+    "local_clustering",
+    "HashMinWithEarlyExit",
+    "SerialFinishResult",
+    "hash_min_with_serial_finish",
+    "ShiloachVishkin",
+    "sv_component_labels",
+    "sv_components",
+    "sv_spanning_forest",
+    "LubyMISColoring",
+    "coloring_from_result",
+    "luby_coloring",
+    "PipelineResult",
+    "as_pipeline",
+    "EccentricityFlood",
+    "apsp",
+    "diameter",
+    "HashMinGAS",
+    "PageRankGAS",
+    "SsspGAS",
+    "hash_min_gas",
+    "pagerank_gas",
+    "sssp_gas",
+    "EulerTour",
+    "euler_tour",
+    "tour_from_successors",
+    "ListRanking",
+    "list_ranking",
+    "BipartiteMatching",
+    "bipartite_matching",
+    "LocallyDominantMatching",
+    "locally_dominant_matching",
+    "BoruvkaMST",
+    "minimum_spanning_tree",
+    "PageRank",
+    "pagerank",
+    "PointToPointShortestPath",
+    "ReachabilityQuery",
+    "is_reachable",
+    "point_to_point_distance",
+    "ColoringSCC",
+    "scc",
+    "scc_labels",
+    "BallGathering",
+    "SimulationProgram",
+    "dual_simulation",
+    "graph_simulation",
+    "strong_simulation",
+    "SingleSourceShortestPaths",
+    "sssp",
+    "TwinExchangeMarking",
+    "tree_traversal",
+    "TriangleCounting",
+    "count_triangles",
+    "WeaklyConnectedComponents",
+    "weakly_connected_components",
+]

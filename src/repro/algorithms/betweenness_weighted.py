@@ -1,0 +1,271 @@
+"""Vertex-centric *weighted* betweenness centrality — §3.8 point 4,
+answered.
+
+The paper lists "betweenness centrality (weighted graphs)" among the
+workloads whose efficient vertex-centric implementability is "largely
+unknown".  This module shows it is *expressible* — and measures why it
+is expensive.  Per source:
+
+1. **Relax** — Bellman–Ford SSSP (the only superstep-friendly way to
+   get weighted distances; a Dijkstra order has no BSP analogue).
+2. **Exchange/Build** — neighbors swap final distances; each vertex
+   derives its shortest-path-DAG predecessors and successor count
+   from ``dist(v) = dist(u) + w(u, v)``.
+3. **Sigma** — path counts flow down the DAG as deltas (a vertex
+   forwards每 received increment to every DAG successor), converging
+   in DAG-depth supersteps.
+4. **Backward** — readiness counting replaces the sequential sort:
+   a vertex finalizes its dependency once contributions from *all*
+   its DAG successors have arrived, then feeds its predecessors.
+
+Every phase is message-only and degree-local per superstep, but the
+superstep count is ``O(Σ_s (bellman_rounds(s) + 2·depth(s)))`` and
+Bellman–Ford re-relaxations make the work ``O(mn)``-plus — versus
+sequential weighted Brandes at ``O(nm + n² log n)``.  Expressible:
+yes; efficient: no — exactly the trade §3.8 anticipates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, Iterable, List, Optional
+
+from repro.bsp.aggregator import OrAggregator
+from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+
+_EPS = 1e-9
+
+_RELAX = "relax"
+_EXCHANGE = "exchange"
+_BUILD = "build"
+_SIGMA = "sigma"
+_BWD_INIT = "backward-init"
+_BWD = "backward"
+_RESET = "reset"
+
+
+class WeightedBetweenness(VertexProgram):
+    """The per-source multi-phase machine.
+
+    Vertex value::
+
+        {"bc": float, "dist": float, "sigma": float,
+         "preds_sigma": {pred: sigma_pred}, "succ_count": int,
+         "delta": float, "contribs": int, "done": bool}
+    """
+
+    name = "weighted-betweenness"
+
+    def __init__(self, sources: Iterable[Hashable]):
+        self.sources: List[Hashable] = list(sources)
+        if not self.sources:
+            raise ValueError("need at least one source")
+        self.source_index = 0
+        self.step = _RELAX
+        self.fresh = True
+
+    @property
+    def source(self) -> Hashable:
+        return self.sources[self.source_index]
+
+    def aggregators(self):
+        return {
+            "relaxed": OrAggregator(),
+            "sigma_active": OrAggregator(),
+            "bwd_active": OrAggregator(),
+        }
+
+    def initial_value(self, vertex_id, graph) -> Dict[str, Any]:
+        return {
+            "bc": 0.0,
+            "dist": math.inf,
+            "sigma": 0.0,
+            "preds_sigma": {},
+            "succ_count": 0,
+            "delta": 0.0,
+            "contribs": 0,
+            "done": False,
+        }
+
+    # ------------------------------------------------------------------
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        handler = {
+            _RELAX: self._relax,
+            _EXCHANGE: self._exchange,
+            _BUILD: self._build,
+            _SIGMA: self._sigma,
+            _BWD_INIT: self._bwd_init,
+            _BWD: self._bwd,
+            _RESET: self._reset,
+        }[self.step]
+        ctx.charge(len(messages))
+        handler(vertex, messages, ctx)
+
+    def _relax(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        best = min(messages) if messages else math.inf
+        if self.fresh and vertex.id == self.source:
+            best = 0.0
+        if best < state["dist"] - _EPS:
+            state["dist"] = best
+            ctx.aggregate("relaxed", True)
+            for target, weight in vertex.out_edges.items():
+                ctx.send(target, best + weight)
+
+    def _exchange(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        if state["dist"] < math.inf:
+            for target in vertex.out_edges:
+                ctx.send(target, (vertex.id, state["dist"]))
+
+    def _build(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        if state["dist"] == math.inf:
+            state["done"] = True
+            return
+        preds = {}
+        succ_count = 0
+        my_dist = state["dist"]
+        for sender, sender_dist in messages:
+            weight_in = vertex.in_edges.get(sender)
+            if weight_in is not None and (
+                abs(my_dist - (sender_dist + weight_in)) <= _EPS
+            ):
+                preds[sender] = 0.0
+            weight_out = vertex.out_edges.get(sender)
+            if weight_out is not None and (
+                abs(sender_dist - (my_dist + weight_out)) <= _EPS
+            ):
+                succ_count += 1
+        state["preds_sigma"] = preds
+        state["succ_count"] = succ_count
+        if vertex.id == self.source:
+            state["sigma"] = 1.0
+            self._forward_sigma(vertex, 1.0, ctx)
+
+    def _forward_sigma(self, vertex, delta, ctx) -> None:
+        state = vertex.value
+        my_dist = state["dist"]
+        for target, weight in vertex.out_edges.items():
+            # DAG successors were only counted in _build; re-derive
+            # membership from the locally known distances is not
+            # possible (we did not store them) — instead tag the
+            # delta with our distance and let receivers filter.
+            ctx.send(target, ("sg", vertex.id, my_dist + weight, delta))
+
+    def _sigma(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        if state["dist"] == math.inf:
+            return
+        increment = 0.0
+        for _, sender, claimed_dist, delta in messages:
+            if sender in state["preds_sigma"] and (
+                abs(claimed_dist - state["dist"]) <= _EPS
+            ):
+                state["preds_sigma"][sender] += delta
+                increment += delta
+        if increment > 0.0:
+            state["sigma"] += increment
+            ctx.aggregate("sigma_active", True)
+            self._forward_sigma(vertex, increment, ctx)
+
+    def _bwd_init(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        if state["done"] or state["dist"] == math.inf:
+            return
+        if state["succ_count"] == 0:
+            self._finalize(vertex, ctx)
+            ctx.aggregate("bwd_active", True)
+
+    def _bwd(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        if state["done"] or state["dist"] == math.inf:
+            return
+        for _, contribution in messages:
+            state["delta"] += contribution
+            state["contribs"] += 1
+        if state["contribs"] >= state["succ_count"]:
+            self._finalize(vertex, ctx)
+            ctx.aggregate("bwd_active", True)
+
+    def _finalize(self, vertex, ctx) -> None:
+        state = vertex.value
+        state["done"] = True
+        if vertex.id != self.source:
+            state["bc"] += state["delta"]
+        sigma = state["sigma"]
+        if sigma <= 0.0:
+            return
+        for pred, pred_sigma in state["preds_sigma"].items():
+            contribution = (pred_sigma / sigma) * (1.0 + state["delta"])
+            ctx.send(pred, ("bw", contribution))
+
+    def _reset(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        state["dist"] = math.inf
+        state["sigma"] = 0.0
+        state["preds_sigma"] = {}
+        state["succ_count"] = 0
+        state["delta"] = 0.0
+        state["contribs"] = 0
+        state["done"] = False
+
+    # ------------------------------------------------------------------
+
+    def master_compute(self, master: MasterContext) -> None:
+        if self.step == _RELAX:
+            if self.fresh:
+                self.fresh = False
+            elif not master.get_aggregate("relaxed"):
+                self.step = _EXCHANGE
+        elif self.step == _EXCHANGE:
+            self.step = _BUILD
+        elif self.step == _BUILD:
+            self.step = _SIGMA
+        elif self.step == _SIGMA:
+            if not master.get_aggregate("sigma_active"):
+                self.step = _BWD_INIT
+        elif self.step == _BWD_INIT:
+            self.step = _BWD
+        elif self.step == _BWD:
+            if not master.get_aggregate("bwd_active"):
+                self.step = _RESET
+        else:  # _RESET just ran
+            self.source_index += 1
+            if self.source_index >= len(self.sources):
+                master.halt()
+                return
+            self.step = _RELAX
+            self.fresh = True
+        master.activate_all()
+
+
+def weighted_betweenness(
+    graph: Graph,
+    sources: Optional[Iterable[Hashable]] = None,
+    **engine_kwargs,
+) -> PregelResult:
+    """Run weighted betweenness; ``result.values[v]["bc"]`` matches
+    :func:`repro.sequential.weighted_betweenness_centrality`."""
+    if sources is None:
+        sources = list(graph.vertices())
+    return run_program(
+        graph, WeightedBetweenness(sources), **engine_kwargs
+    )
+
+
+def weighted_betweenness_values(
+    result: PregelResult,
+) -> Dict[Hashable, float]:
+    """Extract ``vertex -> betweenness``."""
+    return {v: val["bc"] for v, val in result.values.items()}

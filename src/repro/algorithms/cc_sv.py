@@ -1,0 +1,215 @@
+"""Shiloach–Vishkin connected components (Table 1 row 4; §3.3.2) and
+the S-V spanning tree (row 10), after Yan et al.
+
+Every vertex ``u`` keeps a pointer ``D[u]`` into a forest of rooted
+trees (roots have self-loops).  Each round performs the paper's three
+steps — *tree hooking*, *star hooking*, *shortcutting* — with hooking
+allowed only when it decreases the pointer, which guarantees
+monotonicity and roots that end at the component minimum.
+
+A Pregel round is a fixed cycle of 16 supersteps (the request/reply
+choreography a real Pregel implementation needs):
+
+====  =============================================================
+ 0-1   grandparent gather #1 (``gpq``/``gpa``) — root knowledge
+ 2     store ``gp``; broadcast ``D[v]`` to graph neighbors
+ 3     tree-hook send: if own parent is a root and some neighbor has
+       a smaller ``D``, propose it (with the witness graph edge)
+ 4     tree-hook apply at roots (min proposal wins)
+ 5-6   grandparent gather #2 (post-hooking)
+ 7     star init: ``st = (gp == D)``; depth-2 vertices notify their
+       grandparent it is not a star root
+ 8     apply not-star notes; query parent's star flag
+ 9     answer star queries
+ 10    store star flag; broadcast ``D[v]`` again
+ 11    star-hook send (star members propose smaller neighbor ``D``)
+ 12    star-hook apply at roots
+ 13-14 shortcut gather (``D[D[v]]``)
+ 15    shortcut apply: ``D[v] = D[D[v]]``; round ends
+====  =============================================================
+
+The master halts after the first round in which nothing changed.
+Measured profile: ``O(log n)`` rounds (so ``O(log n)`` supersteps up
+to the constant 16), per-superstep messages ``O(n)`` and computation
+``O(m)`` — but a root may talk to far more than ``d(v)`` vertices, so
+P3 fails and S-V is **not** BPPA; TPP ``O((m + n) log n)`` vs
+sequential ``O(m + n)``.
+
+Spanning tree (row 10): every applied hook merges two trees and is
+witnessed by a real graph edge; the witnesses collected over the run
+form a spanning forest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.algorithms.cc_hashmin import repr_key
+from repro.bsp.aggregator import OrAggregator
+from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+
+_CYCLE = 16
+
+
+class ShiloachVishkin(VertexProgram):
+    """The S-V phase machine.
+
+    Vertex value::
+
+        {"D": pointer, "gp": grandparent, "st": bool, "star": bool,
+         "tree_edges": [witness edges accepted by this root]}
+    """
+
+    name = "shiloach-vishkin-cc"
+
+    def __init__(self):
+        self._round_changed = False
+        self._halt_requested = False
+
+    def aggregators(self):
+        return {"changed": OrAggregator()}
+
+    def initial_value(self, vertex_id, graph) -> Dict[str, Any]:
+        return {
+            "D": vertex_id,
+            "gp": vertex_id,
+            "st": True,
+            "star": True,
+            "tree_edges": [],
+        }
+
+    # -- the phase machine -------------------------------------------
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        phase = ctx.superstep % _CYCLE
+        state = vertex.value
+        ctx.charge(len(messages))
+
+        if phase in (0, 5, 13):
+            # Gather request: ask the parent for its pointer.
+            ctx.send(state["D"], ("gpq", vertex.id))
+        elif phase in (1, 6, 14):
+            for _, requester in messages:
+                ctx.send(requester, ("gpa", state["D"]))
+        elif phase == 2:
+            for _, payload in messages:
+                state["gp"] = payload
+            for nbr in vertex.out_edges:
+                ctx.send(nbr, ("dv", vertex.id, state["D"]))
+        elif phase == 3:
+            # Tree hooking: only vertices whose parent is a root may
+            # propose, and only pointers smaller than their own.
+            if messages and state["gp"] == state["D"]:
+                pairs = [(m[2], m[1]) for m in messages]
+                best_d, witness = self._best_pointer(pairs)
+                if repr_key(best_d) < repr_key(state["D"]):
+                    ctx.send(
+                        state["D"],
+                        ("hook", best_d, (vertex.id, witness)),
+                    )
+        elif phase == 4:
+            self._apply_hooks(vertex, messages, ctx)
+        elif phase == 7:
+            for _, payload in messages:
+                state["gp"] = payload
+            state["st"] = state["gp"] == state["D"]
+            if not state["st"]:
+                ctx.send(state["gp"], ("ns", None))
+        elif phase == 8:
+            if messages:
+                state["st"] = False
+            # JaJa's check reads the *grandparent's* star flag.
+            ctx.send(state["gp"], ("stq", vertex.id))
+        elif phase == 9:
+            for _, requester in messages:
+                ctx.send(requester, ("sta", state["st"]))
+        elif phase == 10:
+            for _, payload in messages:
+                state["star"] = payload
+            for nbr in vertex.out_edges:
+                ctx.send(nbr, ("dv", vertex.id, state["D"]))
+        elif phase == 11:
+            if messages and state["star"]:
+                pairs = [(m[2], m[1]) for m in messages]
+                best_d, witness = self._best_pointer(pairs)
+                if repr_key(best_d) < repr_key(state["D"]):
+                    ctx.send(
+                        state["D"],
+                        ("hook", best_d, (vertex.id, witness)),
+                    )
+        elif phase == 12:
+            self._apply_hooks(vertex, messages, ctx)
+        elif phase == 15:
+            for _, payload in messages:
+                if payload != state["D"]:
+                    state["D"] = payload
+                    ctx.aggregate("changed", True)
+
+    @staticmethod
+    def _best_pointer(pairs):
+        """Min ``(D, witness)`` over ``(D, sender)`` pairs."""
+        best_d = None
+        best_witness = None
+        for d, sender in pairs:
+            if best_d is None or repr_key(d) < repr_key(best_d):
+                best_d = d
+                best_witness = sender
+        return best_d, best_witness
+
+    def _apply_hooks(self, vertex, messages, ctx) -> None:
+        state = vertex.value
+        best = None
+        witness = None
+        for _, cand, edge in messages:
+            if best is None or repr_key(cand) < repr_key(best):
+                best = cand
+                witness = edge
+        if best is not None and repr_key(best) < repr_key(state["D"]):
+            state["D"] = best
+            state["tree_edges"].append(witness)
+            ctx.aggregate("changed", True)
+
+    def master_compute(self, master: MasterContext) -> None:
+        phase = master.superstep % _CYCLE
+        changed = master.get_aggregate("changed")
+        if changed:
+            self._round_changed = True
+        if phase == _CYCLE - 1:
+            if not self._round_changed:
+                master.halt()
+                return
+            self._round_changed = False
+        master.activate_all()
+
+
+def sv_components(graph: Graph, **engine_kwargs) -> PregelResult:
+    """Run S-V; ``result.values[v]["D"]`` is the component label
+    (the smallest vertex of the component)."""
+    return run_program(graph, ShiloachVishkin(), **engine_kwargs)
+
+
+def sv_component_labels(
+    result: PregelResult,
+) -> Dict[Hashable, Hashable]:
+    """Extract ``vertex -> component`` labels from an S-V result."""
+    return {v: val["D"] for v, val in result.values.items()}
+
+
+def sv_spanning_forest(
+    graph: Graph, **engine_kwargs
+) -> Tuple[List[Tuple[Hashable, Hashable]], PregelResult]:
+    """Table 1 row 10: the spanning forest of hook-witness edges."""
+    result = sv_components(graph, **engine_kwargs)
+    edges: List[Tuple[Hashable, Hashable]] = []
+    for val in result.values.values():
+        edges.extend(val["tree_edges"])
+    return edges, result

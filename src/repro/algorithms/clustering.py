@@ -1,0 +1,103 @@
+"""Vertex-centric local clustering coefficient — the second §3.8
+stress case.
+
+The paper names the local clustering coefficient (LCC) alongside
+triangle counting as analytics that need a *subgraph-centric* view:
+``lcc(v) = 2·T(v) / (d(v)(d(v)-1))`` where ``T(v)`` counts triangles
+through ``v`` — edges *between v's neighbors*, which a vertex cannot
+see.  The three-superstep protocol extends the row-less triangle
+counter so every corner of every triangle learns about it:
+
+1. every vertex sends, to each higher neighbor ``u``, each
+   still-higher neighbor ``w`` (a wedge candidate, tagged with the
+   originating corner);
+2. ``u`` confirms wedges closed by its own adjacency and notifies the
+   two other corners;
+3. corners fold the notifications into their triangle counts.
+
+The per-vertex message volume is ``Θ(Σ C(d,2))`` — the quadratic
+neighborhood shipping of §3.8 — versus the sequential counter's
+``O(m^{3/2})``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.algorithms.cc_hashmin import repr_key
+from repro.bsp.context import ComputeContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+
+
+class LocalClusteringCoefficient(VertexProgram):
+    """The three-superstep LCC program.
+
+    Vertex value: ``{"triangles": int, "lcc": float}``.
+    """
+
+    name = "local-clustering-coefficient"
+
+    def initial_value(self, vertex_id, graph) -> Dict[str, Any]:
+        return {"triangles": 0, "lcc": 0.0}
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        if ctx.superstep == 0:
+            nbrs = sorted(vertex.out_edges, key=repr_key)
+            me = repr_key(vertex.id)
+            higher = [u for u in nbrs if repr_key(u) > me]
+            ctx.charge(len(nbrs))
+            for i, u in enumerate(higher):
+                for w in higher[i + 1:]:
+                    ctx.send(u, ("wedge", vertex.id, w))
+            # Stay active: every vertex must reach superstep 2 to
+            # finalize its coefficient, messages or not.
+        elif ctx.superstep == 1:
+            for _, corner, w in messages:
+                ctx.charge(1)
+                if w in vertex.out_edges:
+                    vertex.value["triangles"] += 1
+                    ctx.send(corner, ("tri",))
+                    ctx.send(w, ("tri",))
+        else:
+            vertex.value["triangles"] += len(messages)
+            degree = len(vertex.out_edges)
+            if degree >= 2:
+                vertex.value["lcc"] = (
+                    2.0
+                    * vertex.value["triangles"]
+                    / (degree * (degree - 1))
+                )
+            vertex.vote_to_halt()
+
+
+def local_clustering(
+    graph: Graph, **engine_kwargs
+) -> Tuple[Dict[Hashable, float], PregelResult]:
+    """Per-vertex clustering coefficients.
+
+    Returns ``({vertex: lcc}, result)``; vertices of degree < 2 get
+    coefficient 0 by convention.
+    """
+    result = run_program(
+        graph, LocalClusteringCoefficient(), **engine_kwargs
+    )
+    coefficients = {
+        v: value["lcc"] for v, value in result.values.items()
+    }
+    return coefficients, result
+
+
+def average_clustering(graph: Graph, **engine_kwargs) -> float:
+    """The mean LCC over all vertices (0 for the empty graph)."""
+    coefficients, _ = local_clustering(graph, **engine_kwargs)
+    if not coefficients:
+        return 0.0
+    return sum(coefficients.values()) / len(coefficients)

@@ -1,0 +1,70 @@
+"""Shared helpers for the vertex-centric algorithm implementations.
+
+Several Table 1 rows are *pipelines* of Pregel jobs (bi-connectivity,
+pre/post-order traversal, strong simulation) — exactly how Yan et al.
+and Fard et al. structure them on real systems.  :class:`PipelineResult`
+aggregates the per-job measurements so the benchmark charges the whole
+pipeline: supersteps add up, time-processor products add up, and BPPA
+balance factors take the worst observed value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.bsp.engine import PregelResult
+from repro.metrics.bppa import BppaObservation
+
+
+@dataclass
+class PipelineResult:
+    """The combined measurement of a multi-job vertex-centric pipeline.
+
+    Attributes
+    ----------
+    output:
+        The algorithm's answer (labels, numbers, edges, …).
+    stages:
+        The underlying :class:`PregelResult` per Pregel job, in order.
+    """
+
+    output: Any
+    stages: List[PregelResult] = field(default_factory=list)
+
+    @property
+    def num_supersteps(self) -> int:
+        """Total supersteps across all stages."""
+        return sum(s.num_supersteps for s in self.stages)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.stats.total_messages for s in self.stages)
+
+    @property
+    def total_work(self) -> float:
+        return sum(s.stats.total_work for s in self.stages)
+
+    @property
+    def time_processor_product(self) -> float:
+        return sum(s.stats.time_processor_product for s in self.stages)
+
+    @property
+    def bppa(self) -> Optional[BppaObservation]:
+        """Merged BPPA observation: worst factor over all stages."""
+        observations = [s.bppa for s in self.stages if s.bppa is not None]
+        if not observations:
+            return None
+        merged = BppaObservation(
+            n=max(o.n for o in observations),
+            num_supersteps=sum(o.num_supersteps for o in observations),
+            storage_factor=max(o.storage_factor for o in observations),
+            compute_factor=max(o.compute_factor for o in observations),
+            message_factor=max(o.message_factor for o in observations),
+        )
+        return merged
+
+
+def as_pipeline(output: Any, *results: PregelResult) -> PipelineResult:
+    """Wrap one or more engine results as a pipeline."""
+    return PipelineResult(output=output, stages=list(results))

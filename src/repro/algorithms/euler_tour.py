@@ -1,0 +1,89 @@
+"""Vertex-centric Euler tour of a tree (Table 1 row 8; §3.4.1), after
+Yan et al.
+
+A two-superstep BPPA — the only Table 1 row that is both BPPA and does
+no more work than its sequential counterpart:
+
+* Superstep 1: every vertex ``v`` sends ``⟨u, next_v(u)⟩`` to each
+  neighbor ``u``, where ``next_v`` cycles ``v``'s id-sorted adjacency
+  list;
+* Superstep 2: every vertex ``u`` stores ``next_v(u)`` under ``v`` —
+  now the successor of directed edge ``(u, v)`` is known at ``u`` as
+  ``(v, next_v(u))``.
+
+Profile: 2 supersteps, ``O(d(v))`` messages/work/storage per vertex —
+BPPA; TPP ``O(n)`` equals the sequential bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.bsp.context import ComputeContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+from repro.graph.properties import require_tree
+
+Edge = Tuple[Hashable, Hashable]
+
+
+class EulerTour(VertexProgram):
+    """The two-superstep tour constructor.
+
+    Final vertex value: ``{v: next_v(u)}`` at vertex ``u`` — for each
+    neighbor ``v``, the successor of edge ``(u, v)`` is
+    ``(v, value[v])``.
+    """
+
+    name = "euler-tour"
+
+    def initial_value(self, vertex_id, graph) -> Dict:
+        return {}
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        if ctx.superstep == 0:
+            nbrs = vertex.sorted_neighbors()
+            ctx.charge(len(nbrs))
+            for i, u in enumerate(nbrs):
+                nxt = nbrs[(i + 1) % len(nbrs)]
+                ctx.send(u, (vertex.id, nxt))
+        else:
+            for v, nxt in messages:
+                vertex.value[v] = nxt
+        vertex.vote_to_halt()
+
+
+def euler_tour(graph: Graph, **engine_kwargs) -> Tuple[
+    Dict[Edge, Edge], PregelResult
+]:
+    """Run the program on a tree; returns ``(successors, result)``
+    where ``successors[(u, v)]`` is the next edge of the tour."""
+    require_tree(graph)
+    result = run_program(graph, EulerTour(), **engine_kwargs)
+    successors: Dict[Edge, Edge] = {}
+    for u, table in result.values.items():
+        for v, nxt in table.items():
+            successors[(u, v)] = (v, nxt)
+    return successors, result
+
+
+def tour_from_successors(
+    successors: Dict[Edge, Edge], start: Edge
+) -> List[Edge]:
+    """Materialize the tour order by following successor pointers
+    (serial convenience for callers and tests)."""
+    if not successors:
+        return []
+    tour = [start]
+    cur = successors[start]
+    while cur != start:
+        tour.append(cur)
+        cur = successors[cur]
+    return tour

@@ -1,0 +1,104 @@
+"""Vertex-centric list ranking by pointer jumping (§3.4.2) — the
+engine behind pre-/post-order traversal (Table 1 row 9).
+
+Each list element ``v`` carries ``sum(v)`` (initially ``val(v)``) and
+``pred(v)``.  A jump round is two supersteps:
+
+* even superstep: ``v`` folds in the reply from its predecessor
+  (``sum += pred_sum``, ``pred = pred_pred``) and, if it still has a
+  predecessor, sends it a new query;
+* odd superstep: every queried vertex replies with its current
+  ``(sum, pred)``.
+
+After round ``k`` every vertex has folded the ``2^k`` elements behind
+it, so ``O(log n)`` rounds finish the list: a BPPA (each element sends
+and receives at most one message per round — the element at position
+``i`` is queried only by the element at position ``i + 2^k``).  Total
+messages ``O(n log n)``, hence TPP ``O(n log n)`` — *more work* than
+the sequential ``O(n)`` scan.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.bsp.context import ComputeContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+
+
+class ListRanking(VertexProgram):
+    """Pointer-jumping list ranking.
+
+    The input graph must encode the list as one directed edge per
+    element pointing to its *predecessor*; the head has out-degree 0.
+    ``values`` assigns ``val(v)`` (default: 1 for every element).
+
+    Final vertex value: ``{"sum": s, "pred": None}`` with
+    ``s = val(v) + val(pred(v)) + … + val(head)`` (inclusive prefix
+    sum from the head).
+    """
+
+    name = "list-ranking"
+
+    def __init__(
+        self,
+        values: Optional[Callable[[Hashable], float]] = None,
+    ):
+        self._val = values if values is not None else (lambda _vid: 1)
+
+    def initial_value(self, vertex_id, graph) -> Dict[str, Any]:
+        preds = list(graph.neighbors(vertex_id))
+        if len(preds) > 1:
+            raise ValueError(
+                f"list element {vertex_id!r} has {len(preds)} "
+                "predecessors; the list graph must be a directed path"
+            )
+        return {
+            "sum": self._val(vertex_id),
+            "pred": preds[0] if preds else None,
+        }
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        state = vertex.value
+        if ctx.superstep % 2 == 0:
+            # Fold the reply (if any), then query the new predecessor.
+            for kind, payload in messages:
+                if kind == "a":
+                    pred_sum, pred_pred = payload
+                    state["sum"] += pred_sum
+                    state["pred"] = pred_pred
+            if state["pred"] is not None:
+                ctx.send(state["pred"], ("q", vertex.id))
+            vertex.vote_to_halt()
+        else:
+            # Answer queries with the current (sum, pred).
+            for kind, requester in messages:
+                if kind == "q":
+                    ctx.send(
+                        requester, ("a", (state["sum"], state["pred"]))
+                    )
+            vertex.vote_to_halt()
+
+
+def list_ranking(
+    list_graph: Graph,
+    values: Optional[Callable[[Hashable], float]] = None,
+    **engine_kwargs,
+) -> Tuple[Dict[Hashable, float], PregelResult]:
+    """Rank ``list_graph`` (edges point to predecessors).
+
+    Returns ``({element: sum}, result)``.
+    """
+    result = run_program(
+        list_graph, ListRanking(values), **engine_kwargs
+    )
+    sums = {v: val["sum"] for v, val in result.values.items()}
+    return sums, result

@@ -1,0 +1,142 @@
+"""Online point queries on a vertex-centric runtime — §3.8 point 1.
+
+The paper's first "difficult workload" observation: the vertex-centric
+model "usually operates on the entire graph, which is often not
+necessary for online ad-hoc queries, including shortest path [and]
+reachability".  These programs are the best a vertex-centric system
+can do for an s→t query — flood from the source and let the master
+halt as soon as the target settles — and they still activate every
+vertex the wavefront touches, while the sequential side
+(:func:`repro.sequential.shortest_paths.dijkstra_to_target`) settles
+only the ball around the source.  The gap is the bench's measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, List, Optional, Tuple
+
+from repro.bsp.aggregator import MinAggregator, OrAggregator
+from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+
+
+class PointToPointShortestPath(VertexProgram):
+    """SSSP flooding with target-settlement halting.
+
+    The master stops the run one superstep after no relaxation beats
+    the target's current estimate — from then on the estimate can
+    only be final (non-negative weights).
+    """
+
+    name = "point-to-point-sssp"
+
+    def __init__(self, source: Hashable, target: Hashable):
+        self.source = source
+        self.target = target
+
+    def initial_value(self, vertex_id, graph) -> float:
+        return math.inf
+
+    def aggregators(self):
+        return {
+            "target_dist": MinAggregator(),
+            "frontier_min": MinAggregator(),
+        }
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        best = min(messages) if messages else math.inf
+        ctx.charge(len(messages))
+        if ctx.superstep == 0 and vertex.id == self.source:
+            best = 0.0
+        if best < vertex.value:
+            vertex.value = best
+            ctx.aggregate("frontier_min", best)
+            for target, weight in vertex.out_edges.items():
+                ctx.send(target, best + weight)
+        if vertex.id == self.target and vertex.value < math.inf:
+            ctx.aggregate("target_dist", vertex.value)
+        vertex.vote_to_halt()
+
+    def master_compute(self, master: MasterContext) -> None:
+        target_dist = master.get_aggregate("target_dist")
+        frontier = master.get_aggregate("frontier_min")
+        if target_dist is not None and (
+            frontier is None or frontier >= target_dist
+        ):
+            # Every estimate still in flight is at least the target's
+            # settled distance: halt early.
+            master.halt()
+
+
+class ReachabilityQuery(VertexProgram):
+    """s→t reachability by flooding, halting on arrival."""
+
+    name = "reachability"
+
+    def __init__(self, source: Hashable, target: Hashable):
+        self.source = source
+        self.target = target
+
+    def initial_value(self, vertex_id, graph) -> bool:
+        return False
+
+    def aggregators(self):
+        return {"reached": OrAggregator()}
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        hit = bool(messages) or (
+            ctx.superstep == 0 and vertex.id == self.source
+        )
+        if hit and not vertex.value:
+            vertex.value = True
+            if vertex.id == self.target:
+                ctx.aggregate("reached", True)
+            else:
+                ctx.send_to_neighbors(vertex, True)
+        vertex.vote_to_halt()
+
+    def master_compute(self, master: MasterContext) -> None:
+        if master.get_aggregate("reached"):
+            master.halt()
+
+
+def point_to_point_distance(
+    graph: Graph,
+    source: Hashable,
+    target: Hashable,
+    **engine_kwargs,
+) -> Tuple[Optional[float], PregelResult]:
+    """Distance from ``source`` to ``target`` (``None`` when
+    unreachable), plus the run's measurements."""
+    result = run_program(
+        graph, PointToPointShortestPath(source, target), **engine_kwargs
+    )
+    distance = result.values[target]
+    return (None if distance == math.inf else distance), result
+
+
+def is_reachable(
+    graph: Graph,
+    source: Hashable,
+    target: Hashable,
+    **engine_kwargs,
+) -> Tuple[bool, PregelResult]:
+    """Whether ``target`` is reachable from ``source``."""
+    result = run_program(
+        graph, ReachabilityQuery(source, target), **engine_kwargs
+    )
+    return bool(result.values[target]), result

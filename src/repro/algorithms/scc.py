@@ -1,0 +1,200 @@
+"""Vertex-centric strongly connected components (Table 1 row 7), the
+coloring / forward-backward algorithm with trimming used by
+Salihoglu & Widom and Yan et al.
+
+Each outer round on the still-unassigned subgraph:
+
+1. **Trim** (to a fixpoint) — vertices whose in- or out-degree within
+   the unassigned subgraph is zero are singleton SCCs; they retire and
+   notify their neighbors.
+2. **Color (forward max propagation)** — every unassigned vertex
+   resets its color to its own id and propagates the maximum along
+   out-edges to a fixpoint; at the fixpoint each colored region is the
+   forward-reachable set of its color root.
+3. **Backward sweep** — each color root retires into its own SCC and
+   floods *backwards* along in-edges, restricted to vertices of its
+   color; everything reached is in the root's SCC.
+
+Rounds repeat until every vertex is assigned.  Worst-case supersteps
+are ``O(n)`` (a chain of small SCCs trims/peels one layer per round)
+and color roots message far more than ``d(v)`` peers — not BPPA; the
+measured work exceeds Tarjan's sequential ``O(m + n)``: *more work*,
+reproducing the paper's row 7 verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List
+
+from repro.algorithms.cc_hashmin import repr_key
+from repro.bsp.aggregator import OrAggregator
+from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+
+_TRIM = "trim"
+_COLOR_INIT = "color-init"
+_COLOR = "color"
+_BWD_INIT = "backward-init"
+_BWD = "backward"
+
+
+class ColoringSCC(VertexProgram):
+    """The SCC phase machine.
+
+    Vertex value::
+
+        {"scc": label or None, "color": current color,
+         "live_out": {unassigned out-neighbors},
+         "live_in": {unassigned in-neighbors}}
+    """
+
+    name = "coloring-scc"
+
+    def __init__(self):
+        self.step = _TRIM
+
+    def aggregators(self):
+        return {
+            "trimmed": OrAggregator(),
+            "color_changed": OrAggregator(),
+            "bwd_active": OrAggregator(),
+            "unassigned": OrAggregator(),
+        }
+
+    def initial_value(self, vertex_id, graph) -> Dict[str, Any]:
+        return {
+            "scc": None,
+            "color": vertex_id,
+            "live_out": {
+                u for u in graph.neighbors(vertex_id) if u != vertex_id
+            },
+            "live_in": {
+                u
+                for u in graph.in_neighbors(vertex_id)
+                if u != vertex_id
+            },
+        }
+
+    # ------------------------------------------------------------------
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        state = vertex.value
+        ctx.charge(len(messages))
+        # Bookkeeping first: retirements prune live sets regardless of
+        # the phase in which their notifications arrive.
+        colors: List[Hashable] = []
+        bwd_labels: List[Hashable] = []
+        for m in messages:
+            tag = m[0]
+            if tag == "dead":
+                state["live_out"].discard(m[1])
+                state["live_in"].discard(m[1])
+            elif tag == "bwd":
+                state["live_out"].discard(m[2])
+                state["live_in"].discard(m[2])
+                bwd_labels.append(m[1])
+            elif tag == "col":
+                colors.append(m[1])
+        if state["scc"] is not None:
+            vertex.vote_to_halt()
+            return
+
+        if self.step == _TRIM:
+            ctx.aggregate("unassigned", True)
+            if not state["live_out"] or not state["live_in"]:
+                self._retire(vertex, vertex.id, ctx)
+                ctx.aggregate("trimmed", True)
+        elif self.step == _COLOR_INIT:
+            state["color"] = vertex.id
+            ctx.send_to(
+                state["live_out"], ("col", state["color"])
+            )
+        elif self.step == _COLOR:
+            changed = False
+            for color in colors:
+                if repr_key(color) > repr_key(state["color"]):
+                    state["color"] = color
+                    changed = True
+            if changed:
+                ctx.send_to(
+                    state["live_out"], ("col", state["color"])
+                )
+                ctx.aggregate("color_changed", True)
+        elif self.step == _BWD_INIT:
+            if state["color"] == vertex.id:
+                self._retire_backward(vertex, ctx)
+                ctx.aggregate("bwd_active", True)
+        else:  # _BWD
+            if any(
+                label == state["color"] for label in bwd_labels
+            ):
+                self._retire_backward(vertex, ctx)
+                ctx.aggregate("bwd_active", True)
+
+    def _retire(self, vertex, label, ctx) -> None:
+        """Singleton retirement: label, notify everyone, go dormant."""
+        state = vertex.value
+        state["scc"] = label
+        ctx.send_to(
+            state["live_out"] | state["live_in"],
+            ("dead", vertex.id),
+        )
+        state["live_out"] = set()
+        state["live_in"] = set()
+        vertex.vote_to_halt()
+
+    def _retire_backward(self, vertex, ctx) -> None:
+        """Join the SCC of the current color and continue the
+        backward flood."""
+        state = vertex.value
+        label = state["color"]
+        state["scc"] = label
+        targets = set(state["live_in"])
+        for u in targets:
+            ctx.send(u, ("bwd", label, vertex.id))
+        ctx.send_to(
+            state["live_out"] - targets, ("dead", vertex.id)
+        )
+        state["live_out"] = set()
+        state["live_in"] = set()
+        vertex.vote_to_halt()
+
+    # ------------------------------------------------------------------
+
+    def master_compute(self, master: MasterContext) -> None:
+        if self.step == _TRIM:
+            if not master.get_aggregate("unassigned"):
+                master.halt()
+                return
+            if not master.get_aggregate("trimmed"):
+                self.step = _COLOR_INIT
+        elif self.step == _COLOR_INIT:
+            self.step = _COLOR
+        elif self.step == _COLOR:
+            if not master.get_aggregate("color_changed"):
+                self.step = _BWD_INIT
+        elif self.step == _BWD_INIT:
+            self.step = _BWD
+        else:
+            if not master.get_aggregate("bwd_active"):
+                self.step = _TRIM
+        master.activate_all()
+
+
+def scc(graph: Graph, **engine_kwargs) -> PregelResult:
+    """Run the SCC program; ``result.values[v]["scc"]`` is the SCC
+    label (an arbitrary member id — compare as a partition)."""
+    return run_program(graph, ColoringSCC(), **engine_kwargs)
+
+
+def scc_labels(result: PregelResult) -> Dict[Hashable, Hashable]:
+    """Extract ``vertex -> SCC label``."""
+    return {v: val["scc"] for v, val in result.values.items()}

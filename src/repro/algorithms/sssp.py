@@ -1,0 +1,64 @@
+"""Pregel single-source shortest paths (Table 1 row 16), as in
+Malewicz et al.
+
+Bellman–Ford-style relaxation: the source starts at distance 0 and
+every vertex, upon receiving a shorter tentative distance, adopts it
+and relays ``distance + w(v, u)`` to each neighbor.  Inactive vertices
+sleep; a message wakes them.
+
+Measured profile: in the worst case a vertex's distance improves many
+times, re-triggering ``O(d(v))`` messages — ``O(mn)`` total work
+versus Dijkstra's ``O(m + n log n)``; supersteps ``O(n)`` on weighted
+paths.  A :class:`~repro.bsp.combiner.MinCombiner` is the natural
+combiner and can be passed through ``engine_kwargs``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, List
+
+from repro.bsp.context import ComputeContext
+from repro.bsp.engine import PregelResult, run_program
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.graph.graph import Graph
+
+
+class SingleSourceShortestPaths(VertexProgram):
+    """The Pregel SSSP program; vertex value = tentative distance
+    (``inf`` when unreached)."""
+
+    name = "sssp"
+
+    def __init__(self, source: Hashable):
+        self.source = source
+
+    def initial_value(self, vertex_id, graph) -> float:
+        return math.inf
+
+    def compute(
+        self,
+        vertex: VertexState,
+        messages: List[Any],
+        ctx: ComputeContext,
+    ) -> None:
+        best = min(messages) if messages else math.inf
+        ctx.charge(len(messages))
+        if ctx.superstep == 0 and vertex.id == self.source:
+            best = 0.0
+        if best < vertex.value:
+            vertex.value = best
+            for target, weight in vertex.out_edges.items():
+                ctx.send(target, best + weight)
+        vertex.vote_to_halt()
+
+
+def sssp(
+    graph: Graph, source: Hashable, **engine_kwargs
+) -> PregelResult:
+    """Run SSSP; ``result.values`` maps vertex -> distance (inf when
+    unreachable)."""
+    return run_program(
+        graph, SingleSourceShortestPaths(source), **engine_kwargs
+    )

@@ -1,0 +1,76 @@
+"""Simulated Pregel/BSP runtime: vertex programs, workers, combiners,
+aggregators, master computation, topology mutation and full cost
+instrumentation."""
+
+from repro.bsp.aggregator import (
+    Aggregator,
+    AndAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    SumAggregator,
+)
+from repro.bsp.combiner import (
+    Combiner,
+    MaxCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.async_engine import AsyncEngine, AsyncResult, run_async
+from repro.bsp.block import (
+    BlockContext,
+    BlockEngine,
+    BlockProgram,
+    BlockResult,
+    BlockView,
+    run_blocks,
+)
+from repro.bsp.engine import PregelEngine, PregelResult, run_program
+from repro.bsp.gas import (
+    GASEngine,
+    GASProgram,
+    GASResult,
+    NeighborView,
+    run_gas,
+)
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.bsp.worker import Worker
+
+__all__ = [
+    "Aggregator",
+    "AndAggregator",
+    "CountAggregator",
+    "MaxAggregator",
+    "MinAggregator",
+    "OrAggregator",
+    "SumAggregator",
+    "Combiner",
+    "MaxCombiner",
+    "MinCombiner",
+    "SumCombiner",
+    "ComputeContext",
+    "MasterContext",
+    "PregelEngine",
+    "PregelResult",
+    "run_program",
+    "AsyncEngine",
+    "AsyncResult",
+    "run_async",
+    "BlockContext",
+    "BlockEngine",
+    "BlockProgram",
+    "BlockResult",
+    "BlockView",
+    "run_blocks",
+    "GASEngine",
+    "GASProgram",
+    "GASResult",
+    "NeighborView",
+    "run_gas",
+    "VertexProgram",
+    "VertexState",
+    "Worker",
+]

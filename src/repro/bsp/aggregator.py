@@ -1,0 +1,82 @@
+"""Pregel aggregators: commutative-associative global reductions.
+
+Vertices contribute values during superstep ``S`` via
+``ctx.aggregate(name, value)``; the reduced result is visible to every
+vertex in superstep ``S + 1`` (and to ``master_compute`` right after
+``S``), exactly as in Pregel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+
+class Aggregator(ABC):
+    """Base class: an identity element plus a binary reduction."""
+
+    @abstractmethod
+    def initial(self) -> Any:
+        """The identity value at the start of each superstep."""
+
+    @abstractmethod
+    def reduce(self, current: Any, value: Any) -> Any:
+        """Fold ``value`` into the running ``current``."""
+
+
+class SumAggregator(Aggregator):
+    """Numeric sum (identity 0)."""
+
+    def initial(self):
+        return 0
+
+    def reduce(self, current, value):
+        return current + value
+
+
+class CountAggregator(SumAggregator):
+    """Counts contributions; vertices typically aggregate ``1``."""
+
+
+class MinAggregator(Aggregator):
+    """Minimum; identity ``None`` (no contribution)."""
+
+    def initial(self):
+        return None
+
+    def reduce(self, current, value):
+        if current is None:
+            return value
+        return value if value < current else current
+
+
+class MaxAggregator(Aggregator):
+    """Maximum; identity ``None`` (no contribution)."""
+
+    def initial(self):
+        return None
+
+    def reduce(self, current, value):
+        if current is None:
+            return value
+        return value if value > current else current
+
+
+class AndAggregator(Aggregator):
+    """Logical conjunction (identity True) — "did every vertex …?"."""
+
+    def initial(self):
+        return True
+
+    def reduce(self, current, value):
+        return bool(current and value)
+
+
+class OrAggregator(Aggregator):
+    """Logical disjunction (identity False) — "did any vertex …?"."""
+
+    def initial(self):
+        return False
+
+    def reduce(self, current, value):
+        return bool(current or value)

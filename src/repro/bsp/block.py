@@ -1,0 +1,240 @@
+"""A subgraph-centric ("think like a graph") engine — the
+Giraph++/NScale paradigm the paper's §1 lists and §3.8 prescribes for
+neighborhood analytics.
+
+Vertices are grouped into *blocks* (one per worker partition); a
+superstep runs one ``compute`` per block, which may do arbitrary
+sequential work over its whole local subgraph and message any vertex
+in the graph (delivery routes to the owning block).  Internal
+traffic — vertex-to-vertex within a block — costs nothing on the
+network; only cross-block messages are charged, which is exactly the
+advantage §3.8's triangle/LCC discussion appeals to.
+
+The cost accounting reuses :class:`~repro.metrics.stats.RunStats`:
+per-block local work, logical/remote messages, and the BSP superstep
+charge ``max(w, g·h, L)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Set
+
+from repro.bsp.worker import Worker
+from repro.errors import MessageToUnknownVertexError
+from repro.graph.graph import Graph
+from repro.graph.partition import BfsGrowPartitioner
+from repro.metrics.cost_model import BSPCostModel
+from repro.metrics.stats import RunStats, SuperstepStats
+
+
+@dataclass
+class BlockView:
+    """What a block program sees: its slice of the graph.
+
+    Attributes
+    ----------
+    index:
+        The block (worker) index.
+    vertices:
+        The vertex ids owned by this block.
+    subgraph:
+        The induced subgraph on the owned vertices.
+    boundary:
+        ``{internal vertex: [external neighbors]}`` for every owned
+        vertex with at least one cross-block edge.
+    values:
+        Shared per-vertex value store for the owned vertices
+        (mutating it is the block's way of producing output).
+    """
+
+    index: int
+    vertices: Set[Hashable]
+    subgraph: Graph
+    boundary: Dict[Hashable, List[Hashable]]
+    values: Dict[Hashable, Any] = field(default_factory=dict)
+
+
+class BlockContext:
+    """Messaging and accounting surface for block programs."""
+
+    def __init__(self, engine, block_index: int):
+        self._engine = engine
+        self._block_index = block_index
+        self.superstep = 0
+
+    def send(self, target: Hashable, message: Any) -> None:
+        """Send ``message`` to the block owning ``target``; delivered
+        next superstep, tagged with the destination vertex."""
+        self._engine._enqueue(self._block_index, target, message)
+
+    def charge(self, ops: float) -> None:
+        """Charge extra local work to this block."""
+        self._engine._charge(self._block_index, ops)
+
+    def vote_to_halt(self) -> None:
+        """This block is done unless a message wakes it."""
+        self._engine._halt(self._block_index)
+
+
+class BlockProgram(ABC):
+    """A per-block computation, run once per superstep per awake
+    block.  ``messages`` is a list of ``(target_vertex, payload)``
+    pairs addressed to this block's vertices."""
+
+    name: str = "block-program"
+
+    @abstractmethod
+    def compute(
+        self,
+        block: BlockView,
+        messages: List,
+        ctx: BlockContext,
+    ) -> None:
+        """One superstep of work for one block."""
+
+
+@dataclass
+class BlockResult:
+    """Per-vertex values plus the usual run statistics."""
+
+    values: Dict[Hashable, Any]
+    stats: RunStats
+
+    @property
+    def num_supersteps(self) -> int:
+        return self.stats.num_supersteps
+
+
+class BlockEngine:
+    """Runs a :class:`BlockProgram` over a partitioned graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: BlockProgram,
+        num_blocks: int = 4,
+        partitioner=None,
+        cost_model: Optional[BSPCostModel] = None,
+        max_supersteps: int = 10_000,
+    ):
+        self._graph = graph
+        self._program = program
+        self._num_blocks = num_blocks
+        self._cost_model = cost_model or BSPCostModel()
+        self._max_supersteps = max_supersteps
+        partitioner = partitioner or BfsGrowPartitioner(
+            graph, num_blocks
+        )
+        self._owner: Dict[Hashable, int] = {
+            v: partitioner(v) % num_blocks for v in graph.vertices()
+        }
+        self._workers = [Worker(i) for i in range(num_blocks)]
+        self._blocks: List[BlockView] = []
+        for index in range(num_blocks):
+            owned = {
+                v for v, o in self._owner.items() if o == index
+            }
+            boundary: Dict[Hashable, List[Hashable]] = {}
+            for v in owned:
+                external = [
+                    u
+                    for u in set(graph.neighbors(v))
+                    | set(graph.in_neighbors(v))
+                    if u not in owned
+                ]
+                if external:
+                    boundary[v] = sorted(external, key=repr)
+            self._blocks.append(
+                BlockView(
+                    index=index,
+                    vertices=owned,
+                    subgraph=graph.subgraph(owned),
+                    boundary=boundary,
+                    values={v: None for v in owned},
+                )
+            )
+        self._inbox: List[List] = [[] for _ in range(num_blocks)]
+        self._outbox: List[List] = [[] for _ in range(num_blocks)]
+        self._halted = [False] * num_blocks
+
+    # -- services used by BlockContext ---------------------------------
+
+    def _enqueue(self, src_block: int, target: Hashable, message: Any):
+        dst_block = self._owner.get(target)
+        if dst_block is None:
+            raise MessageToUnknownVertexError(target)
+        self._outbox[dst_block].append((target, message))
+        self._workers[src_block].sent_logical += 1
+        self._workers[dst_block].received_logical += 1
+        if src_block != dst_block:
+            self._workers[src_block].sent_network += 1
+            self._workers[dst_block].received_network += 1
+            self._workers[src_block].sent_remote += 1
+
+    def _charge(self, block: int, ops: float) -> None:
+        self._workers[block].work += ops
+
+    def _halt(self, block: int) -> None:
+        self._halted[block] = True
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> BlockResult:
+        stats = RunStats(
+            num_workers=self._num_blocks,
+            cost_model=self._cost_model,
+        )
+        contexts = [
+            BlockContext(self, i) for i in range(self._num_blocks)
+        ]
+        for superstep in range(self._max_supersteps):
+            for w in self._workers:
+                w.reset_counters()
+            self._outbox = [[] for _ in range(self._num_blocks)]
+            active = 0
+            for index, block in enumerate(self._blocks):
+                messages = self._inbox[index]
+                if messages:
+                    self._halted[index] = False
+                if self._halted[index]:
+                    continue
+                active += 1
+                ctx = contexts[index]
+                ctx.superstep = superstep
+                self._workers[index].work += 1 + len(messages)
+                self._program.compute(block, messages, ctx)
+            ws = self._workers
+            stats.supersteps.append(
+                SuperstepStats(
+                    superstep=superstep,
+                    work=[w.work for w in ws],
+                    sent_logical=[w.sent_logical for w in ws],
+                    received_logical=[
+                        w.received_logical for w in ws
+                    ],
+                    sent_network=[w.sent_network for w in ws],
+                    received_network=[
+                        w.received_network for w in ws
+                    ],
+                    active_vertices=active,
+                    sent_remote=[w.sent_remote for w in ws],
+                )
+            )
+            self._inbox = self._outbox
+            if all(self._halted) and not any(
+                self._inbox[i] for i in range(self._num_blocks)
+            ):
+                break
+        values: Dict[Hashable, Any] = {}
+        for block in self._blocks:
+            values.update(block.values)
+        return BlockResult(values=values, stats=stats)
+
+
+def run_blocks(
+    graph: Graph, program: BlockProgram, **engine_kwargs
+) -> BlockResult:
+    """Convenience wrapper mirroring the other engines."""
+    return BlockEngine(graph, program, **engine_kwargs).run()

@@ -1,0 +1,44 @@
+"""Pregel combiners: sender-side message reduction.
+
+When a program's messages to a common destination can be folded into
+one (min, max, sum, …) a combiner cuts network traffic.  The engine
+applies the combiner per ``(sending worker, destination vertex)`` pair,
+mirroring Pregel's worker-local combining, and records both the logical
+message count (what the program emitted — used for local work ``w``)
+and the combined network count (what crosses the wire — used for the
+``h``-relation in the cost model).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+
+class Combiner(ABC):
+    """A commutative, associative binary fold over messages."""
+
+    @abstractmethod
+    def combine(self, a: Any, b: Any) -> Any:
+        """Fold two messages addressed to the same vertex into one."""
+
+
+class MinCombiner(Combiner):
+    """Keep the smallest message (Hash-Min, SSSP)."""
+
+    def combine(self, a, b):
+        return a if a <= b else b
+
+
+class MaxCombiner(Combiner):
+    """Keep the largest message."""
+
+    def combine(self, a, b):
+        return a if a >= b else b
+
+
+class SumCombiner(Combiner):
+    """Add messages (PageRank mass, counting)."""
+
+    def combine(self, a, b):
+        return a + b

@@ -1,0 +1,158 @@
+"""Compute and master contexts: the API surface a vertex program uses
+beyond its own vertex state."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Iterable, Optional
+
+from repro.bsp.mutation import MutationLog
+from repro.bsp.vertex import VertexState
+from repro.errors import MessageToUnknownVertexError
+
+
+class ComputeContext:
+    """Passed to every ``compute()`` call.
+
+    One instance is reused across all vertices of a superstep; the
+    engine rebinds it per vertex so the per-vertex send/charge counters
+    feed the BPPA tracker.  Programs should treat it as opaque API.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.superstep: int = 0
+        self._current_vertex: Optional[VertexState] = None
+        self._sent: int = 0
+        self._charged: float = 0.0
+        self._aggregates_prev: Dict[str, Any] = {}
+        self._mutations = MutationLog()
+
+    # -- rebinding (engine-internal) -----------------------------------
+
+    def _begin_superstep(
+        self, superstep: int, aggregates_prev: Dict[str, Any]
+    ) -> None:
+        self.superstep = superstep
+        self._aggregates_prev = aggregates_prev
+
+    def _begin_vertex(self, vertex: VertexState) -> None:
+        self._current_vertex = vertex
+        self._sent = 0
+        self._charged = 0.0
+
+    # -- global read-only views ----------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the computation."""
+        return self._engine.num_vertices
+
+    @property
+    def random(self) -> random.Random:
+        """The run's seeded RNG (deterministic execution order makes
+        randomized programs reproducible)."""
+        return self._engine.rng
+
+    def get_aggregate(self, name: str) -> Any:
+        """The aggregator value reduced during the *previous*
+        superstep, Pregel-style."""
+        return self._aggregates_prev.get(name)
+
+    # -- messaging -------------------------------------------------------
+
+    def send(self, target: Hashable, message: Any) -> None:
+        """Send ``message`` to ``target``, delivered next superstep."""
+        if not self._engine.has_vertex(target):
+            raise MessageToUnknownVertexError(target)
+        self._engine._enqueue(self._current_vertex.id, target, message)
+        self._sent += 1
+
+    def send_to_neighbors(
+        self, vertex: VertexState, message: Any
+    ) -> None:
+        """Send ``message`` along every out-edge of ``vertex``."""
+        for target in vertex.out_edges:
+            self.send(target, message)
+
+    def send_to(self, targets: Iterable[Hashable], message: Any) -> None:
+        """Send the same ``message`` to each vertex in ``targets``."""
+        for target in targets:
+            self.send(target, message)
+
+    # -- work accounting --------------------------------------------------
+
+    def charge(self, ops: float) -> None:
+        """Charge ``ops`` extra units of local work.
+
+        The engine already charges one unit per compute call, per
+        message consumed and per message sent; programs use ``charge``
+        for additional loops (scanning a history set, sorting, …) so
+        the cost model sees their true local work.
+        """
+        self._charged += ops
+
+    # -- aggregation -------------------------------------------------------
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute ``value`` to aggregator ``name`` (visible to all
+        next superstep)."""
+        self._engine._aggregate(name, value)
+
+    # -- topology mutation --------------------------------------------------
+
+    def add_vertex(self, vertex_id: Hashable, value: Any = None) -> None:
+        """Request creation of a new vertex before the next superstep."""
+        self._mutations.add_vertices.append((vertex_id, value))
+
+    def add_edge(
+        self, u: Hashable, v: Hashable, weight: float = 1.0
+    ) -> None:
+        """Request a new directed runtime edge ``u -> v``."""
+        self._mutations.add_edges.append((u, v, weight))
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Request removal of runtime edge ``u -> v``."""
+        self._mutations.remove_edges.append((u, v))
+
+    def remove_vertex(self, vertex_id: Hashable) -> None:
+        """Request removal of a vertex (and its incident edges)."""
+        self._mutations.remove_vertices.append(vertex_id)
+
+
+class MasterContext:
+    """Passed to ``master_compute`` between supersteps.
+
+    Exposes the aggregates just reduced, activity counts, and the two
+    global controls Pregel masters have: halting the computation and
+    waking every vertex for the next superstep.
+    """
+
+    def __init__(
+        self,
+        superstep: int,
+        aggregates: Dict[str, Any],
+        num_active: int,
+        num_vertices: int,
+        pending_messages: int,
+    ):
+        self.superstep = superstep
+        self._aggregates = aggregates
+        self.num_active = num_active
+        self.num_vertices = num_vertices
+        self.pending_messages = pending_messages
+        self._halt = False
+        self._activate_all = False
+
+    def get_aggregate(self, name: str) -> Any:
+        """The aggregator value reduced in the superstep that just
+        finished."""
+        return self._aggregates.get(name)
+
+    def halt(self) -> None:
+        """Terminate the computation after this superstep."""
+        self._halt = True
+
+    def activate_all(self) -> None:
+        """Wake every vertex for the next superstep (phase changes)."""
+        self._activate_all = True

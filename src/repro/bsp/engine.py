@@ -1,0 +1,391 @@
+"""The simulated Pregel engine: synchronous BSP supersteps over
+partitioned workers, with full cost instrumentation.
+
+This is the substrate the paper's analysis assumes.  It executes real
+``vertex.compute()`` programs with Pregel semantics:
+
+* messages sent in superstep ``S`` are visible in superstep ``S + 1``;
+* a vertex that votes to halt is skipped until a message wakes it;
+* the run ends when every vertex is halted and no messages are in
+  flight (or the master halts it);
+* combiners reduce network traffic per (sending worker, destination);
+* aggregator values reduced in ``S`` are readable in ``S + 1``;
+* topology mutations requested in ``S`` apply before ``S + 1``.
+
+Instead of real parallelism the engine *accounts* parallelism: every
+superstep records per-worker local work ``w_i`` and message counts
+``s_i``/``r_i``, from which the BSP cost model charges
+``max(w, g·h, L)`` and the run reports the time-processor product
+(§2.1).  An optional BPPA tracker observes per-vertex balance for the
+§2.2 properties.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.bsp.combiner import Combiner
+from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.program import VertexProgram
+from repro.bsp.vertex import VertexState
+from repro.bsp.worker import Worker
+from repro.errors import SuperstepLimitExceeded
+from repro.graph.graph import Graph
+from repro.graph.partition import HashPartitioner
+from repro.metrics.bppa import BppaObservation, BppaTracker
+from repro.metrics.cost_model import BSPCostModel
+from repro.metrics.stats import RunStats, SuperstepStats
+
+
+@dataclass
+class PregelResult:
+    """Everything a run produces: answers plus measurements."""
+
+    values: Dict[Hashable, Any]
+    stats: RunStats
+    bppa: Optional[BppaObservation]
+    aggregate_history: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def num_supersteps(self) -> int:
+        return self.stats.num_supersteps
+
+    @property
+    def time_processor_product(self) -> float:
+        return self.stats.time_processor_product
+
+
+class PregelEngine:
+    """Runs one :class:`VertexProgram` over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.  Undirected edges are materialized as two
+        directed runtime edges, as Pregel does.
+    program:
+        The vertex program to execute.
+    num_workers:
+        The simulated processor count ``p``.
+    partitioner:
+        ``vertex_id -> worker_index`` (default: hash partitioning).
+    combiner:
+        Optional sender-side message combiner.
+    cost_model:
+        BSP parameters ``g`` and ``L`` (default ``g = L = 1``).
+    max_supersteps:
+        Hard bound; exceeding it raises
+        :class:`~repro.errors.SuperstepLimitExceeded`.
+    track_bppa:
+        Record per-vertex balance factors (costs one ``state_size``
+        call per active vertex per superstep).
+    seed:
+        Seed for ``ctx.random`` so randomized programs are
+        reproducible.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: VertexProgram,
+        num_workers: int = 4,
+        partitioner=None,
+        combiner: Optional[Combiner] = None,
+        cost_model: Optional[BSPCostModel] = None,
+        max_supersteps: int = 100_000,
+        track_bppa: bool = True,
+        seed: int = 0,
+    ):
+        self._graph = graph
+        self._program = program
+        self._num_workers = num_workers
+        self._combiner = combiner
+        self._cost_model = cost_model or BSPCostModel()
+        self._max_supersteps = max_supersteps
+        self.rng = random.Random(seed)
+
+        partitioner = partitioner or HashPartitioner(num_workers)
+        self._partitioner = partitioner
+        self._workers = [Worker(i) for i in range(num_workers)]
+        self._states: Dict[Hashable, VertexState] = {}
+        self._owner: Dict[Hashable, int] = {}
+        self._build_states()
+
+        self._tracker: Optional[BppaTracker] = None
+        if track_bppa:
+            degrees = {
+                v: graph.total_degree(v) for v in graph.vertices()
+            }
+            self._tracker = BppaTracker(degrees)
+
+        # Superstep-scoped structures.
+        self._ctx = ComputeContext(self)
+        self._inbox: Dict[Hashable, List[Any]] = {}
+        self._outbox: Dict[Hashable, List] = {}
+        self._aggregators = dict(getattr(program, "aggregators", dict)())
+        self._agg_current: Dict[str, Any] = {}
+        self._agg_finalized: Dict[str, Any] = {}
+        self._wake_all = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _build_states(self) -> None:
+        g = self._graph
+        for v in g.vertices():
+            out_edges = {u: g.weight(v, u) for u in g.neighbors(v)}
+            if g.directed:
+                in_edges = {u: g.weight(u, v) for u in g.in_neighbors(v)}
+            else:
+                in_edges = out_edges
+            state = VertexState(
+                v,
+                value=self._program.initial_value(v, g),
+                out_edges=out_edges,
+                in_edges=in_edges,
+            )
+            self._states[v] = state
+            widx = self._partitioner(v) % self._num_workers
+            self._owner[v] = widx
+            self._workers[widx].vertex_ids.append(v)
+
+    # ------------------------------------------------------------------
+    # Engine services used by ComputeContext
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._states)
+
+    def has_vertex(self, vertex_id: Hashable) -> bool:
+        return vertex_id in self._states
+
+    def _enqueue(
+        self, source: Hashable, target: Hashable, message: Any
+    ) -> None:
+        src_worker = self._owner[source]
+        dst_worker = self._owner[target]
+        self._outbox.setdefault(target, []).append(
+            (src_worker, message)
+        )
+        self._workers[src_worker].sent_logical += 1
+        self._workers[dst_worker].received_logical += 1
+        if src_worker != dst_worker:
+            self._workers[src_worker].sent_remote += 1
+
+    def _aggregate(self, name: str, value: Any) -> None:
+        agg = self._aggregators[name]
+        current = self._agg_current.get(name, agg.initial())
+        self._agg_current[name] = agg.reduce(current, value)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> PregelResult:
+        """Execute the program to termination and return the result."""
+        stats = RunStats(
+            num_workers=self._num_workers, cost_model=self._cost_model
+        )
+        aggregate_history: List[Dict[str, Any]] = []
+        program = self._program
+        ctx = self._ctx
+        tracker = self._tracker
+
+        for superstep in range(self._max_supersteps):
+            for w in self._workers:
+                w.reset_counters()
+            self._outbox = {}
+            self._agg_current = {
+                name: agg.initial()
+                for name, agg in self._aggregators.items()
+            }
+            ctx._begin_superstep(superstep, self._agg_finalized)
+
+            active_count = 0
+            wake_all = self._wake_all or superstep == 0
+            self._wake_all = False
+            for worker in self._workers:
+                for vid in worker.vertex_ids:
+                    state = self._states.get(vid)
+                    if state is None:
+                        continue
+                    messages = self._inbox.pop(vid, None)
+                    if messages:
+                        state.halted = False
+                    elif state.halted and not wake_all:
+                        continue
+                    elif wake_all:
+                        state.halted = False
+                    messages = messages or []
+                    active_count += 1
+                    ctx._begin_vertex(state)
+                    program.compute(state, messages, ctx)
+                    ops = 1 + len(messages) + ctx._sent + ctx._charged
+                    worker.work += ops
+                    if tracker is not None:
+                        tracker.record_vertex(
+                            vid,
+                            ctx._sent,
+                            len(messages),
+                            ops,
+                            program.state_size(state),
+                        )
+            if tracker is not None:
+                tracker.record_superstep()
+
+            # Aggregators reduced this superstep become visible next.
+            self._agg_finalized = dict(self._agg_current)
+            aggregate_history.append(self._agg_finalized)
+
+            pending = sum(len(v) for v in self._outbox.values())
+            master = MasterContext(
+                superstep=superstep,
+                aggregates=self._agg_finalized,
+                num_active=active_count,
+                num_vertices=len(self._states),
+                pending_messages=pending,
+            )
+            program.master_compute(master)
+
+            self._apply_mutations()
+            delivered = self._deliver()
+            stats.supersteps.append(
+                self._superstep_stats(superstep, active_count)
+            )
+
+            if master._halt:
+                break
+            if master._activate_all:
+                self._wake_all = True
+            if delivered == 0 and not self._wake_all:
+                if all(s.halted for s in self._states.values()):
+                    break
+        else:
+            raise SuperstepLimitExceeded(
+                self._max_supersteps, program.name
+            )
+
+        if tracker is not None:
+            tracker.observation.num_supersteps = stats.num_supersteps
+        return PregelResult(
+            values={v: s.value for v, s in self._states.items()},
+            stats=stats,
+            bppa=tracker.observation if tracker else None,
+            aggregate_history=aggregate_history,
+        )
+
+    # ------------------------------------------------------------------
+    # Superstep boundary
+    # ------------------------------------------------------------------
+
+    def _superstep_stats(
+        self, superstep: int, active: int
+    ) -> SuperstepStats:
+        ws = self._workers
+        return SuperstepStats(
+            superstep=superstep,
+            work=[w.work for w in ws],
+            sent_logical=[w.sent_logical for w in ws],
+            received_logical=[w.received_logical for w in ws],
+            sent_network=[w.sent_network for w in ws],
+            received_network=[w.received_network for w in ws],
+            active_vertices=active,
+            sent_remote=[w.sent_remote for w in ws],
+        )
+
+    def _apply_mutations(self) -> None:
+        log = self._ctx._mutations
+        if log.is_empty():
+            return
+        directed = self._graph.directed
+        for u, v in log.remove_edges:
+            src = self._states.get(u)
+            if src is not None:
+                src.out_edges.pop(v, None)
+            if directed:
+                dst = self._states.get(v)
+                if dst is not None:
+                    dst.in_edges.pop(u, None)
+        for vid in log.remove_vertices:
+            state = self._states.pop(vid, None)
+            if state is None:
+                continue
+            for src in list(state.in_edges):
+                other = self._states.get(src)
+                if other is not None:
+                    other.out_edges.pop(vid, None)
+            if directed:
+                for dst in list(state.out_edges):
+                    other = self._states.get(dst)
+                    if other is not None:
+                        other.in_edges.pop(vid, None)
+            self._outbox.pop(vid, None)
+            self._inbox.pop(vid, None)
+        for vid, value in log.add_vertices:
+            if vid in self._states:
+                continue
+            state = VertexState(vid, value=value, out_edges={})
+            if directed:
+                state.in_edges = {}
+            self._states[vid] = state
+            widx = self._partitioner(vid) % self._num_workers
+            self._owner[vid] = widx
+            self._workers[widx].vertex_ids.append(vid)
+        for u, v, weight in log.add_edges:
+            src = self._states.get(u)
+            if src is None:
+                continue
+            src.out_edges[v] = weight
+            if directed:
+                dst = self._states.get(v)
+                if dst is not None:
+                    dst.in_edges[u] = weight
+        log.clear()
+
+    def _deliver(self) -> int:
+        """Move the outbox into next superstep's inbox.
+
+        Applies the combiner per (destination, sending worker) and
+        accounts network traffic.  Returns the number of logical
+        messages delivered.
+        """
+        delivered = 0
+        combiner = self._combiner
+        inbox = self._inbox
+        for target, entries in self._outbox.items():
+            if target not in self._states:
+                continue  # destination was removed by a mutation
+            dst_worker = self._workers[self._owner[target]]
+            if combiner is None:
+                msgs = [m for _, m in entries]
+                for src_worker, _ in entries:
+                    self._workers[src_worker].sent_network += 1
+                dst_worker.received_network += len(entries)
+            else:
+                groups: Dict[int, Any] = {}
+                for src_worker, m in entries:
+                    if src_worker in groups:
+                        groups[src_worker] = combiner.combine(
+                            groups[src_worker], m
+                        )
+                    else:
+                        groups[src_worker] = m
+                msgs = list(groups.values())
+                for src_worker in groups:
+                    self._workers[src_worker].sent_network += 1
+                dst_worker.received_network += len(groups)
+            inbox.setdefault(target, []).extend(msgs)
+            delivered += len(msgs)
+        self._outbox = {}
+        return delivered
+
+
+def run_program(
+    graph: Graph, program: VertexProgram, **engine_kwargs
+) -> PregelResult:
+    """Convenience wrapper: build an engine and run ``program``."""
+    return PregelEngine(graph, program, **engine_kwargs).run()

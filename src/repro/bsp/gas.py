@@ -1,0 +1,267 @@
+"""A synchronous gather-apply-scatter (GAS) engine — the PowerGraph
+paradigm the paper's §1 surveys as an alternative to Pregel.
+
+Where a Pregel hub *receives* ``d(v)`` messages in one superstep (the
+``h``-relation blow-up behind many of Table 1's P3 violations), GAS
+reads neighbor state edge-parallel and pre-aggregates per worker:
+each gather ships at most one partial aggregate per (destination,
+source-worker) pair.  The engine simulates exactly that accounting,
+reusing the BSP cost model, so the paradigm comparison in
+``benchmarks/bench_gas.py`` is apples-to-apples with the Pregel runs.
+
+Semantics per iteration (sync GAS):
+
+1. **gather** — for every active vertex, fold
+   ``gather(edge_source_view, weight)`` over its in-edges;
+2. **apply** — compute the new vertex value from the old value and
+   the folded aggregate;
+3. **scatter** — if the program says the change is significant,
+   activate the out-neighbors for the next iteration (one signal per
+   out-edge).
+
+The run ends when the active set empties (or ``max_iterations``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Set
+
+from repro.bsp.worker import Worker
+from repro.graph.graph import Graph
+from repro.graph.partition import HashPartitioner
+from repro.metrics.cost_model import BSPCostModel
+from repro.metrics.stats import RunStats, SuperstepStats
+
+
+@dataclass(frozen=True)
+class NeighborView:
+    """What gather may read about an edge's source vertex."""
+
+    id: Hashable
+    value: Any
+    out_degree: int
+
+
+class GASProgram(ABC):
+    """A vertex program in the gather-apply-scatter decomposition."""
+
+    name: str = "gas-program"
+
+    @abstractmethod
+    def initial_value(self, vertex_id: Hashable, graph: Graph) -> Any:
+        """The value every vertex starts with."""
+
+    @abstractmethod
+    def gather(self, source: NeighborView, weight: float) -> Any:
+        """The contribution of one in-edge."""
+
+    @abstractmethod
+    def fold(self, a: Any, b: Any) -> Any:
+        """Combine two gather contributions (associative,
+        commutative)."""
+
+    def identity(self) -> Any:
+        """The aggregate for a vertex with no in-edges (default
+        ``None``)."""
+        return None
+
+    @abstractmethod
+    def apply(self, vertex_id: Hashable, old: Any, total: Any) -> Any:
+        """The new vertex value."""
+
+    @abstractmethod
+    def should_scatter(self, old: Any, new: Any) -> bool:
+        """Whether the change must wake the out-neighbors."""
+
+
+@dataclass
+class GASResult:
+    """Answers plus the same measurements Pregel runs report."""
+
+    values: Dict[Hashable, Any]
+    stats: RunStats
+    #: False when the run stopped at ``max_iterations`` with vertices
+    #: still active (PowerGraph-style graceful cap, not an error).
+    converged: bool = True
+
+    @property
+    def num_iterations(self) -> int:
+        return self.stats.num_supersteps
+
+
+class GASEngine:
+    """Run a :class:`GASProgram` with per-worker cost accounting."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: GASProgram,
+        num_workers: int = 4,
+        partitioner=None,
+        cost_model: Optional[BSPCostModel] = None,
+        max_iterations: int = 100_000,
+    ):
+        self._graph = graph
+        self._program = program
+        self._num_workers = num_workers
+        self._cost_model = cost_model or BSPCostModel()
+        self._max_iterations = max_iterations
+        partitioner = partitioner or HashPartitioner(num_workers)
+        self._owner = {
+            v: partitioner(v) % num_workers for v in graph.vertices()
+        }
+        self._workers = [Worker(i) for i in range(num_workers)]
+        self._values: Dict[Hashable, Any] = {
+            v: program.initial_value(v, graph)
+            for v in graph.vertices()
+        }
+        self._out_degree = {
+            v: graph.out_degree(v) for v in graph.vertices()
+        }
+        # Vertex-cut edge placement: host each edge at the worker of
+        # its lower-degree endpoint, so high-degree vertices are the
+        # ones mirrored — the PowerGraph heuristic that flattens hub
+        # traffic.  ``_in_hosts[v]`` groups v's in-edges by hosting
+        # worker.
+        self._in_hosts: Dict[Hashable, Dict[int, list]] = {}
+        for v in graph.vertices():
+            groups: Dict[int, list] = {}
+            dv = graph.total_degree(v)
+            for u in graph.in_neighbors(v):
+                du = graph.total_degree(u)
+                host = self._owner[u] if du <= dv else self._owner[v]
+                groups.setdefault(host, []).append(u)
+            self._in_hosts[v] = groups
+
+    def run(self) -> GASResult:
+        graph = self._graph
+        program = self._program
+        values = self._values
+        stats = RunStats(
+            num_workers=self._num_workers,
+            cost_model=self._cost_model,
+        )
+        active: Set[Hashable] = set(graph.vertices())
+
+        for iteration in range(self._max_iterations):
+            if not active:
+                break
+            for w in self._workers:
+                w.reset_counters()
+            next_active: Set[Hashable] = set()
+            # Synchronous semantics: gathers read the previous
+            # iteration's values; applies write a fresh buffer that
+            # becomes visible only at the iteration boundary.
+            new_values = dict(values)
+            # PowerGraph mirror semantics.  Per iteration, network
+            # traffic consists of (a) syncing a vertex value to each
+            # worker hosting one of its edges (once per worker, not
+            # per edge), (b) shipping one folded gather partial per
+            # hosting worker to the gathering vertex's master, and
+            # (c) one activation signal per (vertex, worker) pair.
+            # This is what flattens the hub h-relation that Pregel
+            # suffers.
+            synced_values: Set = set()
+            shipped_signals: Set = set()
+            # Deterministic order regardless of set hashing.
+            for v in sorted(active, key=repr):
+                v_worker = self._owner[v]
+                dst = self._workers[v_worker]
+                total = program.identity()
+                for host, sources in self._in_hosts[v].items():
+                    host_worker = self._workers[host]
+                    for u in sources:
+                        src_worker = self._owner[u]
+                        view = NeighborView(
+                            id=u,
+                            value=values[u],
+                            out_degree=self._out_degree[u],
+                        )
+                        contribution = program.gather(
+                            view, graph.weight(u, v)
+                        )
+                        total = (
+                            contribution
+                            if total is None
+                            else program.fold(total, contribution)
+                        )
+                        # Edge-parallel local work at the hosting
+                        # worker; logical/remote counts stay
+                        # per-edge so they compare with Pregel.
+                        host_worker.work += 1
+                        self._workers[src_worker].sent_logical += 1
+                        dst.received_logical += 1
+                        if src_worker != v_worker:
+                            self._workers[
+                                src_worker
+                            ].sent_remote += 1
+                        # (a) value sync: u's value must exist at the
+                        # hosting worker.
+                        if src_worker != host:
+                            key = (u, host)
+                            if key not in synced_values:
+                                synced_values.add(key)
+                                self._workers[
+                                    src_worker
+                                ].sent_network += 1
+                                host_worker.received_network += 1
+                    # (b) one partial aggregate per hosting worker.
+                    if host != v_worker:
+                        host_worker.sent_network += 1
+                        dst.received_network += 1
+                # Apply.
+                old = values[v]
+                new = program.apply(v, old, total)
+                new_values[v] = new
+                dst.work += 1
+                # Scatter: signal out-neighbors on significant change.
+                if program.should_scatter(old, new):
+                    for u in graph.neighbors(v):
+                        next_active.add(u)
+                        dst.sent_logical += 1
+                        u_worker = self._owner[u]
+                        self._workers[u_worker].received_logical += 1
+                        if u_worker != v_worker:
+                            dst.sent_remote += 1
+                        # (c) activations of the same target from
+                        # one worker collapse into one signal
+                        # (mirror-side OR).
+                        key = (u, v_worker)
+                        if key not in shipped_signals:
+                            shipped_signals.add(key)
+                            dst.sent_network += 1
+                            self._workers[
+                                u_worker
+                            ].received_network += 1
+            ws = self._workers
+            stats.supersteps.append(
+                SuperstepStats(
+                    superstep=iteration,
+                    work=[w.work for w in ws],
+                    sent_logical=[w.sent_logical for w in ws],
+                    received_logical=[w.received_logical for w in ws],
+                    sent_network=[w.sent_network for w in ws],
+                    received_network=[
+                        w.received_network for w in ws
+                    ],
+                    active_vertices=len(active),
+                    sent_remote=[w.sent_remote for w in ws],
+                )
+            )
+            values = new_values
+            self._values = values
+            active = next_active
+        return GASResult(
+            values=dict(values),
+            stats=stats,
+            converged=not active,
+        )
+
+
+def run_gas(
+    graph: Graph, program: GASProgram, **engine_kwargs
+) -> GASResult:
+    """Convenience wrapper mirroring :func:`repro.bsp.run_program`."""
+    return GASEngine(graph, program, **engine_kwargs).run()

@@ -1,0 +1,41 @@
+"""Topology mutation requests, applied between supersteps.
+
+Pregel lets a ``compute()`` call request graph mutations that take
+effect before the next superstep (used here by the MIS coloring and
+Boruvka MCST workloads).  Requests are collected during the superstep
+and resolved by the engine with Pregel's partial ordering: removals
+before additions, edge removals before vertex removals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Tuple
+
+
+@dataclass
+class MutationLog:
+    """The mutation requests accumulated during one superstep."""
+
+    remove_edges: List[Tuple[Hashable, Hashable]] = field(
+        default_factory=list
+    )
+    remove_vertices: List[Hashable] = field(default_factory=list)
+    add_vertices: List[Tuple[Hashable, Any]] = field(default_factory=list)
+    add_edges: List[Tuple[Hashable, Hashable, float]] = field(
+        default_factory=list
+    )
+
+    def is_empty(self) -> bool:
+        return not (
+            self.remove_edges
+            or self.remove_vertices
+            or self.add_vertices
+            or self.add_edges
+        )
+
+    def clear(self) -> None:
+        self.remove_edges.clear()
+        self.remove_vertices.clear()
+        self.add_vertices.clear()
+        self.add_edges.clear()

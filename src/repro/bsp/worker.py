@@ -1,0 +1,54 @@
+"""Simulated Pregel workers.
+
+A worker owns a fixed subset of the vertices (decided by the
+partitioner) and accumulates the per-superstep profile — local work,
+messages sent and received — that feeds the BSP cost model.  The
+simulation executes workers sequentially but the semantics are those of
+parallel execution: all compute() calls in a superstep observe only
+messages from the previous superstep, and mutations apply only at the
+superstep boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+
+class Worker:
+    """One simulated processor and its per-superstep counters."""
+
+    __slots__ = (
+        "index",
+        "vertex_ids",
+        "work",
+        "sent_logical",
+        "received_logical",
+        "sent_network",
+        "received_network",
+        "sent_remote",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.vertex_ids: List[Hashable] = []
+        self.work = 0.0
+        self.sent_logical = 0
+        self.received_logical = 0
+        self.sent_network = 0
+        self.received_network = 0
+        self.sent_remote = 0
+
+    def reset_counters(self) -> None:
+        """Zero the per-superstep profile."""
+        self.work = 0.0
+        self.sent_logical = 0
+        self.received_logical = 0
+        self.sent_network = 0
+        self.received_network = 0
+        self.sent_remote = 0
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<Worker {self.index} vertices={len(self.vertex_ids)} "
+            f"work={self.work}>"
+        )

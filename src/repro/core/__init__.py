@@ -1,0 +1,62 @@
+"""Benchmark core: the paired Table 1 harness, the COST study and the
+workload registry."""
+
+from repro.core.cost_study import (
+    CostStudyResult,
+    ScalingPoint,
+    cost_study,
+    format_cost_study,
+)
+from repro.core.figures import (
+    Series,
+    all_figures,
+    format_series,
+)
+from repro.core.report import format_report, format_row_lines, format_table
+from repro.core.runner import (
+    PairedMeasurement,
+    RowResult,
+    decide_bppa,
+    decide_more_work,
+    run_sweep,
+)
+from repro.core.table1 import (
+    ROWS,
+    RowSpec,
+    Table1Row,
+    build_table,
+    run_row,
+)
+from repro.core.workload import (
+    WorkloadInfo,
+    get_workload,
+    registry,
+    workload_names,
+)
+
+__all__ = [
+    "Series",
+    "all_figures",
+    "format_series",
+    "CostStudyResult",
+    "ScalingPoint",
+    "cost_study",
+    "format_cost_study",
+    "format_report",
+    "format_row_lines",
+    "format_table",
+    "PairedMeasurement",
+    "RowResult",
+    "decide_bppa",
+    "decide_more_work",
+    "run_sweep",
+    "ROWS",
+    "RowSpec",
+    "Table1Row",
+    "build_table",
+    "run_row",
+    "WorkloadInfo",
+    "get_workload",
+    "registry",
+    "workload_names",
+]

@@ -1,0 +1,123 @@
+"""The McSherry-style "scalability, but at what COST?" study (§1).
+
+The paper motivates its benchmark with McSherry et al.'s observation
+that single-threaded implementations often beat distributed systems
+outright.  This module reproduces the *shape* of that observation on
+the simulated runtime: for a fixed workload it sweeps the processor
+count ``p`` and reports
+
+* the BSP time ``T(p)`` (wall-clock proxy: the sum of per-superstep
+  ``max(w, g·h, L)`` charges),
+* the time-processor product ``p · T(p)`` (total resources),
+* the sequential baseline's op count (the single-threaded contender),
+* the **COST** — the number of processors at which the distributed
+  run first beats the single-threaded baseline's time (``None`` if it
+  never does within the sweep).
+
+With ``g`` above 1 (network slower than compute) the crossover moves
+right or disappears — exactly McSherry's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.bsp.engine import PregelEngine
+from repro.bsp.program import VertexProgram
+from repro.graph.graph import Graph
+from repro.metrics.cost_model import BSPCostModel
+from repro.metrics.opcounter import OpCounter
+
+
+@dataclass
+class ScalingPoint:
+    """One processor count in the sweep."""
+
+    workers: int
+    bsp_time: float
+    time_processor_product: float
+    total_messages: int
+
+
+@dataclass
+class CostStudyResult:
+    """The full sweep plus the single-threaded reference."""
+
+    workload: str
+    sequential_ops: int
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def cost(self) -> Optional[int]:
+        """McSherry's COST: the smallest worker count whose BSP time
+        beats the single-threaded baseline (``None`` if none does)."""
+        for point in self.points:
+            if point.bsp_time < self.sequential_ops:
+                return point.workers
+        return None
+
+    def speedup(self, workers: int) -> float:
+        """Sequential ops / BSP time at the given worker count."""
+        for point in self.points:
+            if point.workers == workers:
+                return self.sequential_ops / max(point.bsp_time, 1e-9)
+        raise KeyError(f"no sweep point with {workers} workers")
+
+
+def cost_study(
+    graph: Graph,
+    make_program: Callable[[], VertexProgram],
+    run_sequential: Callable[[Graph, OpCounter], object],
+    workload: str,
+    worker_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    cost_model: Optional[BSPCostModel] = None,
+    seed: int = 0,
+) -> CostStudyResult:
+    """Sweep worker counts for one workload on one graph."""
+    ops = OpCounter()
+    run_sequential(graph, ops)
+    result = CostStudyResult(workload=workload, sequential_ops=ops.ops)
+    for workers in worker_counts:
+        engine = PregelEngine(
+            graph,
+            make_program(),
+            num_workers=workers,
+            cost_model=cost_model or BSPCostModel(),
+            track_bppa=False,
+            seed=seed,
+            max_supersteps=500_000,
+        )
+        run = engine.run()
+        result.points.append(
+            ScalingPoint(
+                workers=workers,
+                bsp_time=run.stats.bsp_time,
+                time_processor_product=(
+                    run.stats.time_processor_product
+                ),
+                total_messages=run.stats.total_messages,
+            )
+        )
+    return result
+
+
+def format_cost_study(result: CostStudyResult) -> str:
+    """Plain-text table of a COST sweep."""
+    lines = [
+        f"COST study: {result.workload}",
+        f"single-threaded baseline: {result.sequential_ops} ops",
+        f"{'workers':>8} {'T(p)':>12} {'p*T(p)':>12} {'speedup':>8}",
+    ]
+    for p in result.points:
+        speedup = result.sequential_ops / max(p.bsp_time, 1e-9)
+        lines.append(
+            f"{p.workers:>8} {p.bsp_time:>12.0f} "
+            f"{p.time_processor_product:>12.0f} {speedup:>8.2f}"
+        )
+    cost = result.cost
+    lines.append(
+        f"COST (workers to beat single thread): "
+        f"{cost if cost is not None else 'unbounded in sweep'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Figure-analog data series.
+
+The paper's figures are illustrative rather than measured, but each
+encodes a quantitative claim; this module regenerates the
+corresponding *series* so reports (and EXPERIMENTS.md) can cite real
+numbers.  Everything returns plain ``(xs, ys)`` lists, printable with
+:func:`format_series`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.algorithms import (
+    hash_min_components,
+    list_ranking,
+    minimum_spanning_tree,
+    sv_components,
+)
+from repro.graph import (
+    connected_erdos_renyi_graph,
+    linked_list_graph,
+    path_graph,
+    random_weighted_graph,
+)
+
+
+@dataclass
+class Series:
+    """One measured curve: a label, x values and y values."""
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+def hashmin_superstep_series(
+    sizes: Sequence[int] = (32, 64, 128, 256, 512),
+) -> Dict[str, Series]:
+    """§3.3.1: Hash-Min supersteps on paths (Θ(δ)) vs expanders."""
+    paths = Series("hash-min supersteps on paths")
+    expanders = Series("hash-min supersteps on expanders")
+    for n in sizes:
+        paths.append(n, hash_min_components(path_graph(n)).num_supersteps)
+        expander = connected_erdos_renyi_graph(n, 8.0 / n, seed=1)
+        expanders.append(
+            n, hash_min_components(expander).num_supersteps
+        )
+    return {"paths": paths, "expanders": expanders}
+
+
+def sv_round_series(
+    sizes: Sequence[int] = (32, 64, 128, 256, 512, 1024),
+) -> Series:
+    """Figures 2–3: S-V rounds grow by one per doubling of n."""
+    series = Series("S-V rounds on paths")
+    for n in sizes:
+        result = sv_components(path_graph(n))
+        series.append(n, result.num_supersteps / 16)
+    return series
+
+
+def list_ranking_series(
+    sizes: Sequence[int] = (64, 128, 256, 512, 1024),
+) -> Tuple[Series, Series]:
+    """Figure 4: list-ranking rounds (log n) and messages (n log n)."""
+    rounds = Series("list-ranking supersteps")
+    messages = Series("list-ranking total messages")
+    for n in sizes:
+        _, result = list_ranking(linked_list_graph(n, seed=2))
+        rounds.append(n, result.num_supersteps)
+        messages.append(n, result.stats.total_messages)
+    return rounds, messages
+
+
+def boruvka_phase_series(
+    sizes: Sequence[int] = (32, 64, 128, 256),
+) -> Series:
+    """Figure 5: Boruvka contraction rounds grow logarithmically."""
+    series = Series("Boruvka supersteps on sparse weighted ER")
+    for n in sizes:
+        graph = random_weighted_graph(n, 4.0 / n, seed=3)
+        _, _, result = minimum_spanning_tree(graph)
+        series.append(n, result.num_supersteps)
+    return series
+
+
+def format_series(series: Series) -> str:
+    """One-line rendering: label plus (x, y) pairs."""
+    pairs = "  ".join(
+        f"({int(x)}, {y:g})" for x, y in zip(series.xs, series.ys)
+    )
+    return f"{series.label}: {pairs}"
+
+
+def all_figures() -> List[Series]:
+    """Every figure-analog series, in paper order."""
+    hashmin = hashmin_superstep_series()
+    rounds, messages = list_ranking_series()
+    return [
+        hashmin["paths"],
+        hashmin["expanders"],
+        sv_round_series(),
+        rounds,
+        messages,
+        boruvka_phase_series(),
+    ]

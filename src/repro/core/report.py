@@ -1,0 +1,91 @@
+"""Plain-text rendering of the regenerated Table 1."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.table1 import Table1Row
+
+
+def _yn(flag: bool) -> str:
+    return "Yes" if flag else "No"
+
+
+def format_row_lines(row: Table1Row) -> List[str]:
+    """Multi-line summary of one regenerated row."""
+    spec = row.spec
+    res = row.result
+    last = res.measurements[-1]
+    lines = [
+        f"Row {spec.row:>2}: {spec.workload}",
+        f"  family: {spec.family}",
+        (
+            f"  vertex-centric {spec.vc_complexity}  vs  "
+            f"{spec.seq_algorithm} {spec.seq_complexity}"
+        ),
+        (
+            "  sweep: "
+            + "  ".join(
+                f"n={m.n} ratio={m.work_ratio:.2f} ss={m.supersteps}"
+                for m in res.measurements
+            )
+        ),
+        (
+            f"  more work?  paper={_yn(spec.paper_more_work)}  "
+            f"measured={_yn(res.more_work)}"
+        ),
+        (
+            f"  BPPA?       paper={_yn(spec.paper_bppa)}  "
+            f"measured={_yn(res.bppa.is_bppa)}"
+            + (
+                f"  (violated: {', '.join(res.bppa.failures())})"
+                if res.bppa.failures()
+                else ""
+            )
+        ),
+        (
+            f"  balance factors at n={last.n}: "
+            f"P1={last.bppa.storage_factor:.2f} "
+            f"P2={last.bppa.compute_factor:.2f} "
+            f"P3={last.bppa.message_factor:.2f}"
+        ),
+        f"  verdicts match paper: {_yn(row.matches_paper)}",
+    ]
+    return lines
+
+
+def format_table(rows: Sequence[Table1Row]) -> str:
+    """The compact table the paper prints, plus agreement flags."""
+    header = (
+        f"{'#':>2}  {'Workload':<34} {'VC complexity':<16} "
+        f"{'Sequential':<16} {'MoreWork':<14} {'BPPA':<14} {'OK':<3}"
+    )
+    sep = "-" * len(header)
+    out = [header, sep]
+    for row in rows:
+        spec = row.spec
+        res = row.result
+        more = f"{_yn(spec.paper_more_work)}/{_yn(res.more_work)}"
+        bppa = f"{_yn(spec.paper_bppa)}/{_yn(res.bppa.is_bppa)}"
+        out.append(
+            f"{spec.row:>2}  {spec.workload[:34]:<34} "
+            f"{spec.vc_complexity:<16} {spec.seq_complexity:<16} "
+            f"{more:<14} {bppa:<14} "
+            f"{'ok' if row.matches_paper else 'XX':<3}"
+        )
+    out.append(sep)
+    agree = sum(1 for r in rows if r.matches_paper)
+    out.append(
+        f"verdicts matching the paper: {agree}/{len(rows)} "
+        "(columns show paper/measured)"
+    )
+    return "\n".join(out)
+
+
+def format_report(rows: Sequence[Table1Row]) -> str:
+    """The full report: compact table plus per-row details."""
+    parts = [format_table(rows), ""]
+    for row in rows:
+        parts.extend(format_row_lines(row))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,72 @@
+"""Name-indexed access to the Table 1 workloads.
+
+The registry lets examples, benchmarks and the CLI refer to rows by a
+stable name (``"pagerank"``, ``"cc-hash-min"``, …) instead of a row
+number, and documents which modules implement each side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.table1 import ROWS, RowSpec
+from repro.errors import UnknownWorkloadError
+
+#: Stable short names, by row number.
+_NAMES = {
+    1: "diameter",
+    2: "pagerank",
+    3: "cc-hash-min",
+    4: "cc-shiloach-vishkin",
+    5: "biconnected-components",
+    6: "weakly-connected-components",
+    7: "strongly-connected-components",
+    8: "euler-tour",
+    9: "tree-traversal",
+    10: "spanning-tree",
+    11: "minimum-spanning-tree",
+    12: "graph-coloring-mis",
+    13: "max-weight-matching",
+    14: "bipartite-matching",
+    15: "betweenness-centrality",
+    16: "sssp",
+    17: "apsp",
+    18: "graph-simulation",
+    19: "dual-simulation",
+    20: "strong-simulation",
+}
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """A registry entry tying a name to its Table 1 row."""
+
+    name: str
+    spec: RowSpec
+
+    @property
+    def row(self) -> int:
+        return self.spec.row
+
+
+def registry() -> Dict[str, WorkloadInfo]:
+    """All workloads by name."""
+    out = {}
+    for spec in ROWS:
+        name = _NAMES[spec.row]
+        out[name] = WorkloadInfo(name=name, spec=spec)
+    return out
+
+
+def workload_names() -> List[str]:
+    """The stable workload names, in row order."""
+    return [_NAMES[spec.row] for spec in ROWS]
+
+
+def get_workload(name: str) -> WorkloadInfo:
+    """Look a workload up by name (raising a helpful error)."""
+    reg = registry()
+    if name not in reg:
+        raise UnknownWorkloadError(name, reg.keys())
+    return reg[name]

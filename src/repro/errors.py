@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package
+layout: graph-structure errors, BSP runtime errors, and benchmark errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex id was referenced that is not present in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, u, v):
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DuplicateVertexError(GraphError, ValueError):
+    """A vertex id was added twice with conflicting data."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} is already in the graph")
+        self.vertex = vertex
+
+
+class NotATreeError(GraphError, ValueError):
+    """An operation requiring a tree was invoked on a non-tree graph."""
+
+
+class NotBipartiteError(GraphError, ValueError):
+    """An operation requiring a bipartite graph got a non-bipartite one."""
+
+
+class DisconnectedGraphError(GraphError, ValueError):
+    """An operation requiring a connected graph got a disconnected one."""
+
+
+class BSPError(ReproError):
+    """Base class for errors raised by the BSP runtime."""
+
+
+class SuperstepLimitExceeded(BSPError, RuntimeError):
+    """A vertex program failed to halt within the configured bound.
+
+    The engine refuses to run forever: every run carries a superstep
+    budget, and exceeding it indicates either a non-terminating program
+    or a budget chosen too small for the input.
+    """
+
+    def __init__(self, limit, program_name=""):
+        name = f" ({program_name})" if program_name else ""
+        super().__init__(
+            f"vertex program{name} did not halt within {limit} supersteps"
+        )
+        self.limit = limit
+
+
+class MessageToUnknownVertexError(BSPError, KeyError):
+    """A message was addressed to a vertex id that does not exist."""
+
+    def __init__(self, target):
+        super().__init__(f"message sent to unknown vertex {target!r}")
+        self.target = target
+
+
+class MutationConflictError(BSPError, RuntimeError):
+    """Conflicting topology mutations were requested in one superstep."""
+
+
+class BenchmarkError(ReproError):
+    """Base class for errors raised by the benchmark core."""
+
+
+class UnknownWorkloadError(BenchmarkError, KeyError):
+    """A workload name was requested that is not registered."""
+
+    def __init__(self, name, known):
+        super().__init__(
+            f"unknown workload {name!r}; known workloads: {sorted(known)}"
+        )
+        self.name = name

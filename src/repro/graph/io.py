@@ -1,0 +1,108 @@
+"""Edge-list I/O for :class:`~repro.graph.graph.Graph`.
+
+The format is the plain whitespace-separated edge list used by most
+graph-processing systems (SNAP, Giraph's simple text formats):
+
+* comment lines start with ``#``;
+* ``u v`` adds an unweighted edge;
+* ``u v w`` adds an edge of weight ``w``;
+* an optional header ``# directed`` switches to a directed graph.
+
+Vertex ids are read as integers when possible, else kept as strings.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Union
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+PathOrFile = Union[str, "os.PathLike[str]", IO[str]]
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(source: PathOrFile, directed: bool = None) -> Graph:
+    """Read a graph from an edge-list file or open text handle.
+
+    ``directed`` overrides any ``# directed`` header when not ``None``.
+    """
+    if hasattr(source, "read"):
+        return _read_lines(source, directed)
+    with open(os.fspath(source)) as handle:
+        return _read_lines(handle, directed)
+
+
+def _read_lines(handle: Iterable[str], directed) -> Graph:
+    g = None
+    pending = []
+    file_directed = False
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if "directed" in line.lower() and "undirected" not in line.lower():
+                file_directed = True
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            pending.append((_parse_vertex(parts[0]),))
+        elif len(parts) == 2:
+            pending.append((_parse_vertex(parts[0]), _parse_vertex(parts[1])))
+        elif len(parts) == 3:
+            pending.append(
+                (
+                    _parse_vertex(parts[0]),
+                    _parse_vertex(parts[1]),
+                    float(parts[2]),
+                )
+            )
+        else:
+            raise GraphError(
+                f"line {lineno}: expected 'u', 'u v' or 'u v w', got {line!r}"
+            )
+    is_directed = file_directed if directed is None else directed
+    g = Graph(directed=is_directed)
+    for entry in pending:
+        if len(entry) == 1:
+            g.add_vertex(entry[0])
+        elif len(entry) == 2:
+            g.add_edge(entry[0], entry[1])
+        else:
+            g.add_edge(entry[0], entry[1], weight=entry[2])
+    return g
+
+
+def write_edge_list(graph: Graph, target: PathOrFile) -> None:
+    """Write ``graph`` as an edge list (weights included when != 1)."""
+    if hasattr(target, "write"):
+        _write_lines(graph, target)
+        return
+    with open(os.fspath(target), "w") as handle:
+        _write_lines(graph, handle)
+
+
+def _write_lines(graph: Graph, handle: IO[str]) -> None:
+    handle.write(
+        f"# {'directed' if graph.directed else 'undirected'} "
+        f"n={graph.num_vertices} m={graph.num_edges}\n"
+    )
+    connected = set()
+    for u, v, edata in graph.edges(data=True):
+        connected.add(u)
+        connected.add(v)
+        if edata.weight == 1.0:
+            handle.write(f"{u} {v}\n")
+        else:
+            handle.write(f"{u} {v} {edata.weight}\n")
+    for v in graph.vertices():
+        if v not in connected:
+            handle.write(f"{v}\n")

@@ -1,0 +1,140 @@
+"""Vertex partitioners: assign every vertex to one of ``p`` workers.
+
+Pregel's default is hash partitioning; the engine accepts any callable
+``vertex_id -> worker_index``.  The partitioners here matter for the
+cost model: the per-worker local work ``w_i`` and message counts
+``s_i / r_i`` that enter ``max(w, g·h, L)`` depend on the assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List
+
+from repro.graph.graph import Graph
+
+Partitioner = Callable[[Hashable], int]
+
+
+class HashPartitioner:
+    """Pregel's default: ``hash(vertex) mod p``.
+
+    Python's ``hash`` of an int is the int itself, which on contiguous
+    ids gives a round-robin assignment — a reasonable stand-in for the
+    random hashing clusters use, and deterministic across runs.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def __call__(self, vertex: Hashable) -> int:
+        return hash(vertex) % self.num_workers
+
+
+class RangePartitioner:
+    """Contiguous ranges in sorted-id order.
+
+    Mirrors range-based splits; adversarial for algorithms whose hot
+    vertices cluster by id, which makes imbalance visible in the stats.
+    """
+
+    def __init__(self, graph: Graph, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        ordered = sorted(graph.vertices(), key=repr)
+        chunk = max(1, -(-len(ordered) // num_workers))
+        self._assignment: Dict[Hashable, int] = {
+            v: min(i // chunk, num_workers - 1)
+            for i, v in enumerate(ordered)
+        }
+
+    def __call__(self, vertex: Hashable) -> int:
+        return self._assignment.get(vertex, hash(vertex) % self.num_workers)
+
+
+class GreedyEdgeBalancedPartitioner:
+    """Greedy balance on vertex *degree* rather than vertex count.
+
+    Vertices are assigned in decreasing-degree order to the worker with
+    the least accumulated degree (LPT scheduling).  Approximates the
+    edge-balanced partitioning objective that systems like PowerGraph
+    target, and gives the cost model a better-balanced ``w_i``.
+    """
+
+    def __init__(self, graph: Graph, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        loads: List[int] = [0] * num_workers
+        self._assignment: Dict[Hashable, int] = {}
+        by_degree = sorted(
+            graph.vertices(),
+            key=lambda v: (-graph.total_degree(v), repr(v)),
+        )
+        for v in by_degree:
+            target = loads.index(min(loads))
+            self._assignment[v] = target
+            loads[target] += graph.total_degree(v) + 1
+
+    def __call__(self, vertex: Hashable) -> int:
+        return self._assignment.get(vertex, hash(vertex) % self.num_workers)
+
+
+class BfsGrowPartitioner:
+    """Locality-aware partitioning: grow ``p`` contiguous BFS regions.
+
+    A poor man's METIS: repeatedly grab an unassigned seed and BFS
+    until the region holds ``~n/p`` vertices.  Neighbors tend to land
+    on the same worker, so message traffic stays worker-local — the
+    graph-partitioning optimization §1 of the paper surveys.  The
+    ablation bench measures the cross-worker message reduction
+    against hash partitioning.
+    """
+
+    def __init__(self, graph: Graph, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        target = max(1, -(-graph.num_vertices // num_workers))
+        self._assignment: Dict[Hashable, int] = {}
+        current = 0
+        filled = 0
+        from collections import deque
+
+        pending = deque()
+        order = sorted(graph.vertices(), key=repr)
+        for seed in order:
+            if seed in self._assignment:
+                continue
+            pending.append(seed)
+            while pending:
+                v = pending.popleft()
+                if v in self._assignment:
+                    continue
+                self._assignment[v] = current
+                filled += 1
+                if filled >= target and current < num_workers - 1:
+                    current += 1
+                    filled = 0
+                    pending.clear()
+                    break
+                for u in graph.neighbors(v):
+                    if u not in self._assignment:
+                        pending.append(u)
+
+    def __call__(self, vertex: Hashable) -> int:
+        return self._assignment.get(
+            vertex, hash(vertex) % self.num_workers
+        )
+
+
+def partition_counts(
+    graph: Graph, partitioner: Partitioner, num_workers: int
+) -> List[int]:
+    """Vertices per worker under ``partitioner`` — a balance diagnostic."""
+    counts = [0] * num_workers
+    for v in graph.vertices():
+        counts[partitioner(v)] += 1
+    return counts

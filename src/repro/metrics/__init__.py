@@ -1,0 +1,34 @@
+"""Measurement layer: BSP cost model, run statistics, the BPPA checker,
+sequential operation counting and growth-rate estimation."""
+
+from repro.metrics.bppa import (
+    BppaObservation,
+    BppaTracker,
+    BppaVerdict,
+    state_atoms,
+)
+from repro.metrics.complexity import (
+    growth_exponent,
+    grows_at_most_logarithmically,
+    is_bounded,
+    ratio_growth,
+)
+from repro.metrics.cost_model import BSPCostModel
+from repro.metrics.opcounter import OpCounter, ensure_counter
+from repro.metrics.stats import RunStats, SuperstepStats
+
+__all__ = [
+    "BppaObservation",
+    "BppaTracker",
+    "BppaVerdict",
+    "state_atoms",
+    "growth_exponent",
+    "grows_at_most_logarithmically",
+    "is_bounded",
+    "ratio_growth",
+    "BSPCostModel",
+    "OpCounter",
+    "ensure_counter",
+    "RunStats",
+    "SuperstepStats",
+]

@@ -1,0 +1,122 @@
+"""Growth-rate estimation over size sweeps.
+
+Table 1's verdicts are asymptotic, so single-size measurements cannot
+decide them.  The harness runs each algorithm over a geometric size
+sweep and feeds the measured series to the estimators here:
+
+* :func:`growth_exponent` — the slope of ``log y`` against ``log x``
+  (1.0 for linear growth, 2.0 for quadratic, ~0 for bounded).
+* :func:`is_bounded` — whether a series stays within a constant factor
+  of its smallest value (used for "does the work *ratio* grow?").
+* :func:`grows_at_most_logarithmically` — whether a series is explained
+  by ``a * log2(x) + b`` (property P4 and the ``O(log n)``-supersteps
+  claims for S-V and list-ranking).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to estimate growth")
+    if any(x <= 0 for x in xs):
+        raise ValueError("xs must be positive")
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` vs ``log x``.
+
+    Zero ``y`` values are clamped to 1 (they would otherwise make the
+    log undefined; a measured count of 0 vs 1 is noise at our scales).
+    """
+    _validate(xs, ys)
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1.0)) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("xs must not all be equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    return sxy / sxx
+
+
+def is_bounded(
+    values: Sequence[float], factor: float = 3.0
+) -> bool:
+    """Whether ``values`` stays within ``factor`` of its first element.
+
+    Used to decide "the TPP/sequential ratio does not grow" — i.e. the
+    vertex-centric algorithm performs (asymptotically) no more work.
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    base = max(values[0], 1e-12)
+    return max(values) <= factor * base
+
+
+def _residual_norm(ys: Sequence[float], fit: Sequence[float]) -> float:
+    return math.sqrt(
+        sum((y - f) ** 2 for y, f in zip(ys, fit)) / len(ys)
+    )
+
+
+def _linear_fit(xs: Sequence[float], ys: Sequence[float]):
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        return 0.0, mean_y
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / sxx
+    return slope, mean_y - slope * mean_x
+
+
+def grows_at_most_logarithmically(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    slack: float = 1.35,
+) -> bool:
+    """Whether ``ys`` grows no faster than ``O(log n)`` over the sweep.
+
+    Decision rule: fit ``y ~ a*log2(n) + b`` and ``y ~ c*n^k`` (power
+    law); accept the logarithmic hypothesis when its residual is within
+    ``slack`` of the power law's **or** the measured doubling behaviour
+    is sub-polynomial (growth exponent below ~0.3, e.g. a constant
+    superstep count).  Sweeps should span at least a factor of 8 in
+    ``n`` for the test to have discriminating power.
+    """
+    _validate(ns, ys)
+    exponent = growth_exponent(ns, ys)
+    if exponent <= 0.3:
+        return True
+    logx = [math.log2(n) for n in ns]
+    a, b = _linear_fit(logx, ys)
+    log_fit = [a * x + b for x in logx]
+    log_resid = _residual_norm(ys, log_fit)
+    # Power-law fit in log-log space, evaluated back in linear space.
+    lx = [math.log(n) for n in ns]
+    ly = [math.log(max(y, 1.0)) for y in ys]
+    k, c = _linear_fit(lx, ly)
+    pow_fit = [math.exp(c) * n**k for n in ns]
+    pow_resid = _residual_norm(ys, pow_fit)
+    return log_resid <= slack * max(pow_resid, 1e-9)
+
+
+def ratio_growth(
+    xs: Sequence[float], ratios: Sequence[float]
+) -> float:
+    """Growth exponent of a work *ratio* series.
+
+    A clearly positive exponent (>~0.2) reproduces a "performs more
+    work" verdict; an exponent near zero reproduces "no more work".
+    """
+    return growth_exponent(xs, ratios)

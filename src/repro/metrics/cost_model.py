@@ -1,0 +1,67 @@
+"""Valiant's BSP cost model (§2.1 of the paper).
+
+A superstep in which processor ``i`` performs ``w_i`` units of local
+work, sends ``s_i`` messages and receives ``r_i`` messages is charged
+
+    ``max(w, g * h, L)``
+
+where ``w = max_i w_i``, ``h = max_i max(s_i, r_i)``, ``g`` is the
+bandwidth parameter (time to deliver an h-relation per unit h) and
+``L`` is the synchronization periodicity.  The running time ``T(n)`` of
+an algorithm is the sum of its superstep charges, and the
+**time-processor product** is ``P(n) * T(n)``.
+
+The paper evaluates every algorithm at ``g = O(1)`` ("for higher values
+of g, the time-processor product would be even higher"), which is the
+default here; both parameters are configurable so benches can sweep
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class BSPCostModel:
+    """BSP machine parameters.
+
+    Attributes
+    ----------
+    g:
+        Bandwidth parameter: an h-relation is delivered in time ``h*g``,
+        normalized to instruction time.
+    L:
+        Synchronization periodicity: the minimum charge per superstep.
+    """
+
+    g: float = 1.0
+    L: float = 1.0
+
+    def __post_init__(self):
+        if self.g <= 0:
+            raise ValueError(f"g must be positive, got {self.g}")
+        if self.L <= 0:
+            raise ValueError(f"L must be positive, got {self.L}")
+
+    def superstep_cost(self, w: float, h: float) -> float:
+        """The charge ``max(w, g*h, L)`` for one superstep."""
+        return max(w, self.g * h, self.L)
+
+    def superstep_cost_from_profiles(
+        self,
+        work: Sequence[float],
+        sent: Sequence[float],
+        received: Sequence[float],
+    ) -> float:
+        """Charge a superstep from per-processor profiles.
+
+        ``work[i]``, ``sent[i]`` and ``received[i]`` are the ``w_i``,
+        ``s_i`` and ``r_i`` of processor ``i``.
+        """
+        w = max(work, default=0.0)
+        h = max(
+            (max(s, r) for s, r in zip(sent, received)), default=0.0
+        )
+        return self.superstep_cost(w, h)

@@ -1,0 +1,44 @@
+"""Operation counting for the sequential baselines.
+
+The paper compares vertex-centric algorithms against "best known
+sequential" algorithms in asymptotic terms.  To reproduce the
+comparison machine-independently, every sequential baseline in
+:mod:`repro.sequential` charges one unit per elementary operation (edge
+scan, heap operation, set update, …) through an :class:`OpCounter`.
+The charged totals are what the Table 1 harness divides the simulated
+time-processor product by.
+"""
+
+from __future__ import annotations
+
+
+class OpCounter:
+    """A mutable counter of elementary operations.
+
+    All baselines accept an optional counter; passing ``None`` gets a
+    fresh private one, so uninstrumented callers pay only an attribute
+    increment.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self):
+        self.ops = 0
+
+    def add(self, n: int = 1) -> None:
+        """Charge ``n`` elementary operations."""
+        self.ops += n
+
+    def reset(self) -> None:
+        self.ops = 0
+
+    def __int__(self) -> int:
+        return self.ops
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"OpCounter(ops={self.ops})"
+
+
+def ensure_counter(counter: "OpCounter | None") -> OpCounter:
+    """Return ``counter`` or a fresh one when ``None`` was passed."""
+    return counter if counter is not None else OpCounter()

@@ -1,0 +1,152 @@
+"""Execution statistics recorded by the simulated Pregel runtime.
+
+The engine fills one :class:`SuperstepStats` per superstep with the
+per-worker profiles the BSP cost model needs, and a :class:`RunStats`
+aggregates them into the run-level quantities the paper compares:
+superstep count, total messages, total work, BSP time ``T`` and the
+time-processor product ``p * T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.metrics.cost_model import BSPCostModel
+
+
+@dataclass
+class SuperstepStats:
+    """Per-worker profile of one superstep.
+
+    ``sent_logical``/``received_logical`` count every message a vertex
+    program emitted/consumed; ``sent_network``/``received_network``
+    count messages after sender-side combining — the traffic that would
+    actually cross the interconnect.  The cost model's ``h`` uses
+    network counts; local work ``w`` includes processing every logical
+    message.
+    """
+
+    superstep: int
+    work: List[float]
+    sent_logical: List[int]
+    received_logical: List[int]
+    sent_network: List[int]
+    received_network: List[int]
+    active_vertices: int = 0
+    #: Messages whose destination lives on a different worker —
+    #: the traffic a locality-aware partitioner can reduce.
+    sent_remote: List[int] = field(default_factory=list)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.work)
+
+    @property
+    def w(self) -> float:
+        """``max_i w_i`` — the slowest worker's local work."""
+        return max(self.work, default=0.0)
+
+    @property
+    def h(self) -> float:
+        """``max_i max(s_i, r_i)`` over network messages."""
+        return max(
+            (
+                max(s, r)
+                for s, r in zip(self.sent_network, self.received_network)
+            ),
+            default=0.0,
+        )
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.work)
+
+    @property
+    def total_messages(self) -> int:
+        """Logical messages sent in this superstep."""
+        return sum(self.sent_logical)
+
+    @property
+    def total_network_messages(self) -> int:
+        return sum(self.sent_network)
+
+    @property
+    def total_remote_messages(self) -> int:
+        return sum(self.sent_remote)
+
+    def cost(self, model: BSPCostModel) -> float:
+        """The BSP charge ``max(w, g*h, L)`` for this superstep."""
+        return model.superstep_cost(self.w, self.h)
+
+    def imbalance(self) -> float:
+        """``max_i w_i / mean_i w_i`` — 1.0 means perfectly balanced.
+
+        Returns 1.0 for an idle superstep.
+        """
+        total = self.total_work
+        if total == 0:
+            return 1.0
+        mean = total / self.num_workers
+        return self.w / mean
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics of one vertex-program run."""
+
+    num_workers: int
+    cost_model: BSPCostModel = field(default_factory=BSPCostModel)
+    supersteps: List[SuperstepStats] = field(default_factory=list)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def total_messages(self) -> int:
+        """Logical messages over the whole run."""
+        return sum(s.total_messages for s in self.supersteps)
+
+    @property
+    def total_network_messages(self) -> int:
+        return sum(s.total_network_messages for s in self.supersteps)
+
+    @property
+    def total_remote_messages(self) -> int:
+        """Cross-worker logical messages over the whole run."""
+        return sum(s.total_remote_messages for s in self.supersteps)
+
+    @property
+    def total_work(self) -> float:
+        """Total local work across all workers and supersteps."""
+        return sum(s.total_work for s in self.supersteps)
+
+    @property
+    def bsp_time(self) -> float:
+        """``T(n)``: the sum of superstep charges."""
+        return sum(s.cost(self.cost_model) for s in self.supersteps)
+
+    @property
+    def time_processor_product(self) -> float:
+        """``P(n) * T(n)`` — the paper's efficiency measure."""
+        return self.num_workers * self.bsp_time
+
+    @property
+    def max_imbalance(self) -> float:
+        """Worst per-superstep work imbalance over the run."""
+        return max((s.imbalance() for s in self.supersteps), default=1.0)
+
+    def summary(self) -> Dict[str, float]:
+        """A plain-dict summary convenient for reports and tests."""
+        return {
+            "workers": self.num_workers,
+            "supersteps": self.num_supersteps,
+            "total_messages": self.total_messages,
+            "total_network_messages": self.total_network_messages,
+            "total_remote_messages": self.total_remote_messages,
+            "total_work": self.total_work,
+            "bsp_time": self.bsp_time,
+            "time_processor_product": self.time_processor_product,
+            "max_imbalance": self.max_imbalance,
+        }

@@ -1,0 +1,134 @@
+"""Best-known sequential baselines for the twenty Table 1 workloads,
+instrumented with :class:`~repro.metrics.opcounter.OpCounter`."""
+
+from repro.sequential.apsp import all_pairs_shortest_paths
+from repro.sequential.betweenness import (
+    betweenness_centrality,
+    weighted_betweenness_centrality,
+)
+from repro.sequential.bfs import (
+    bfs_components,
+    bfs_distances,
+    bfs_spanning_forest,
+    bfs_tree,
+)
+from repro.sequential.bicc import (
+    BiconnectivityResult,
+    biconnected_components,
+)
+from repro.sequential.clustering import (
+    average_clustering,
+    local_clustering,
+    triangle_counts,
+)
+from repro.sequential.coloring import (
+    greedy_mis_coloring,
+    greedy_sequential_coloring,
+    lexicographically_first_mis,
+)
+from repro.sequential.connectivity import (
+    connected_components,
+    spanning_forest,
+    weakly_connected_components,
+)
+from repro.sequential.dfs import dfs_orders, dfs_tree
+from repro.sequential.diameter import diameter, eccentricities
+from repro.sequential.euler_tour import euler_tour, euler_tour_successors
+from repro.sequential.heaps import BinaryHeap, PairingHeap
+from repro.sequential.matching import (
+    greedy_bipartite_matching,
+    greedy_maximal_matching,
+    locally_dominant_matching,
+    matching_weight,
+    path_growing_matching,
+)
+from repro.sequential.mst import (
+    boruvka,
+    kruskal,
+    kruskal_counting_sort,
+    prim,
+)
+from repro.sequential.pagerank import pagerank
+from repro.sequential.scc import strongly_connected_components
+from repro.sequential.shortest_paths import (
+    bellman_ford,
+    dijkstra,
+    dijkstra_to_target,
+    dijkstra_with_paths,
+)
+from repro.sequential.simulation import (
+    ball,
+    dual_simulation,
+    dual_simulation_efficient,
+    graph_simulation,
+    graph_simulation_efficient,
+    has_match,
+    query_radius,
+    strong_simulation,
+)
+from repro.sequential.traversal import (
+    euler_orders,
+    postorder,
+    preorder,
+    tree_orders,
+)
+from repro.sequential.triangles import count_triangles
+from repro.sequential.unionfind import UnionFind
+
+__all__ = [
+    "all_pairs_shortest_paths",
+    "average_clustering",
+    "local_clustering",
+    "triangle_counts",
+    "betweenness_centrality",
+    "weighted_betweenness_centrality",
+    "bfs_components",
+    "bfs_distances",
+    "bfs_spanning_forest",
+    "bfs_tree",
+    "BiconnectivityResult",
+    "biconnected_components",
+    "greedy_mis_coloring",
+    "greedy_sequential_coloring",
+    "lexicographically_first_mis",
+    "connected_components",
+    "spanning_forest",
+    "weakly_connected_components",
+    "dfs_orders",
+    "dfs_tree",
+    "diameter",
+    "eccentricities",
+    "euler_tour",
+    "euler_tour_successors",
+    "BinaryHeap",
+    "PairingHeap",
+    "greedy_bipartite_matching",
+    "greedy_maximal_matching",
+    "locally_dominant_matching",
+    "matching_weight",
+    "path_growing_matching",
+    "boruvka",
+    "kruskal",
+    "kruskal_counting_sort",
+    "prim",
+    "pagerank",
+    "strongly_connected_components",
+    "bellman_ford",
+    "dijkstra",
+    "dijkstra_to_target",
+    "dijkstra_with_paths",
+    "ball",
+    "dual_simulation",
+    "dual_simulation_efficient",
+    "graph_simulation",
+    "graph_simulation_efficient",
+    "has_match",
+    "query_radius",
+    "strong_simulation",
+    "tree_orders",
+    "euler_orders",
+    "postorder",
+    "preorder",
+    "count_triangles",
+    "UnionFind",
+]

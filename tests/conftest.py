@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    connected_erdos_renyi_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_tree,
+)
+
+
+@pytest.fixture
+def small_path():
+    return path_graph(8)
+
+
+@pytest.fixture
+def small_er():
+    """A small connected random graph."""
+    return connected_erdos_renyi_graph(30, 0.12, seed=7)
+
+
+@pytest.fixture
+def sparse_er():
+    """A (possibly disconnected) sparse random graph."""
+    return erdos_renyi_graph(40, 0.05, seed=11)
+
+
+@pytest.fixture
+def small_tree():
+    return random_tree(25, seed=3)
+
+
+def assert_same_partition(labels_a, labels_b):
+    """Assert two labelings induce the same partition of the keys.
+
+    Component ids are arbitrary (smallest vertex vs root id …), so we
+    compare the *partitions* they induce rather than the raw labels.
+    """
+    assert set(labels_a) == set(labels_b)
+    mapping = {}
+    reverse = {}
+    for key in labels_a:
+        a, b = labels_a[key], labels_b[key]
+        if a in mapping:
+            assert mapping[a] == b, f"partition mismatch at {key!r}"
+        else:
+            mapping[a] = b
+        if b in reverse:
+            assert reverse[b] == a, f"partition mismatch at {key!r}"
+        else:
+            reverse[b] = a

@@ -1,0 +1,231 @@
+"""Tests for the benchmark core: paired runner, verdict logic,
+Table 1 machinery, workload registry, COST study and CLI."""
+
+import pytest
+
+from repro.core import (
+    ROWS,
+    PairedMeasurement,
+    build_table,
+    cost_study,
+    decide_bppa,
+    decide_more_work,
+    format_cost_study,
+    format_report,
+    format_table,
+    get_workload,
+    registry,
+    run_row,
+    workload_names,
+)
+from repro.algorithms import PageRank
+from repro.errors import UnknownWorkloadError
+from repro.graph import connected_erdos_renyi_graph
+from repro.metrics import BSPCostModel, BppaObservation
+from repro.sequential import pagerank as seq_pagerank
+
+
+def _measurement(size, ratio, supersteps, factors=(1.0, 1.0, 1.0)):
+    return PairedMeasurement(
+        size=size,
+        n=size,
+        m=2 * size,
+        supersteps=supersteps,
+        vc_messages=100,
+        vc_work=100.0,
+        tpp=ratio * 1000.0,
+        seq_ops=1000,
+        bppa=BppaObservation(
+            n=size,
+            num_supersteps=supersteps,
+            storage_factor=factors[0],
+            compute_factor=factors[1],
+            message_factor=factors[2],
+        ),
+    )
+
+
+class TestVerdictLogic:
+    def test_flat_ratio_is_not_more_work(self):
+        ms = [
+            _measurement(s, 2.0 + 0.01 * i, 10)
+            for i, s in enumerate((32, 64, 128, 256))
+        ]
+        assert not decide_more_work(ms)
+
+    def test_growing_ratio_is_more_work(self):
+        ms = [
+            _measurement(s, s / 16.0, 10) for s in (32, 64, 128, 256)
+        ]
+        assert decide_more_work(ms)
+
+    def test_log_factor_ratio_is_more_work(self):
+        import math
+
+        ms = [
+            _measurement(s, math.log2(s), 10)
+            for s in (32, 128, 512, 2048)
+        ]
+        assert decide_more_work(ms)
+
+    def test_bppa_all_pass(self):
+        import math
+
+        ms = [
+            _measurement(s, 2.0, int(2 * math.log2(s)))
+            for s in (32, 64, 128, 256, 512)
+        ]
+        verdict = decide_bppa(ms)
+        assert verdict.is_bppa
+
+    def test_bppa_linear_supersteps_fail_p4(self):
+        ms = [_measurement(s, 2.0, s) for s in (32, 64, 128, 256)]
+        verdict = decide_bppa(ms)
+        assert not verdict.p4_logarithmic_supersteps
+
+    def test_bppa_growing_storage_fails_p1(self):
+        ms = [
+            _measurement(s, 2.0, 5, factors=(s / 4.0, 1.0, 1.0))
+            for s in (32, 64, 128, 256)
+        ]
+        verdict = decide_bppa(ms)
+        assert not verdict.p1_storage_balanced
+        assert verdict.p3_messages_balanced
+
+    def test_bppa_absolute_mode(self):
+        # A constant 30 supersteps passes growth mode but fails the
+        # absolute log2(n) multiple — the PageRank case.
+        ms = [_measurement(s, 2.0, 30) for s in (32, 64, 128, 256)]
+        assert decide_bppa(ms, p4_mode="growth").p4_logarithmic_supersteps
+        assert not decide_bppa(
+            ms, p4_mode="absolute"
+        ).p4_logarithmic_supersteps
+
+    def test_unknown_p4_mode(self):
+        ms = [_measurement(s, 2.0, 5) for s in (32, 64)]
+        with pytest.raises(ValueError):
+            decide_bppa(ms, p4_mode="nope")
+
+    def test_missing_bppa_rejected(self):
+        ms = [_measurement(32, 2.0, 5)]
+        ms[0].bppa = None
+        with pytest.raises(ValueError):
+            decide_bppa(ms)
+
+    def test_work_ratio_guards_zero_ops(self):
+        m = _measurement(32, 2.0, 5)
+        m.seq_ops = 0
+        assert m.work_ratio == m.tpp
+
+
+class TestTableMachinery:
+    def test_rows_complete(self):
+        assert len(ROWS) == 20
+        assert [spec.row for spec in ROWS] == list(range(1, 21))
+
+    def test_run_single_row_small(self):
+        spec = ROWS[2]  # Hash-Min
+        row = run_row(spec, sizes=(16, 32, 64, 128))
+        assert row.result.more_work
+        assert not row.result.bppa.p4_logarithmic_supersteps
+        assert row.matches_paper
+
+    def test_build_table_subset_and_scale(self):
+        table = build_table(rows=[1, 8], scale=0.5)
+        assert [r.spec.row for r in table] == [1, 8]
+        for row in table:
+            assert len(row.result.measurements) >= 2
+
+    def test_report_formatting(self):
+        table = build_table(rows=[8], scale=0.5)
+        text = format_table(table)
+        assert "Euler Tour" in text
+        assert "paper/measured" in text
+        full = format_report(table)
+        assert "balance factors" in full
+
+
+class TestRegistry:
+    def test_names_cover_rows(self):
+        names = workload_names()
+        assert len(names) == 20
+        assert "pagerank" in names
+        assert "strong-simulation" in names
+
+    def test_lookup(self):
+        info = get_workload("cc-hash-min")
+        assert info.row == 3
+        assert info.spec.workload.startswith("Connected Component")
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("quantum-pagerank")
+
+    def test_registry_is_consistent(self):
+        reg = registry()
+        for name, info in reg.items():
+            assert info.name == name
+
+
+class TestCostStudy:
+    def _study(self, g=1.0):
+        graph = connected_erdos_renyi_graph(60, 0.1, seed=1)
+        return cost_study(
+            graph,
+            make_program=lambda: PageRank(num_supersteps=10),
+            run_sequential=lambda gr, ops: seq_pagerank(
+                gr, num_iterations=10, counter=ops
+            ),
+            workload="pagerank",
+            worker_counts=(1, 2, 4, 8),
+            cost_model=BSPCostModel(g=g),
+        )
+
+    def test_time_decreases_with_workers(self):
+        result = self._study()
+        times = [p.bsp_time for p in result.points]
+        assert times[0] > times[-1]
+
+    def test_tpp_never_shrinks_much(self):
+        result = self._study()
+        tpps = [p.time_processor_product for p in result.points]
+        assert max(tpps) >= tpps[0] * 0.99
+
+    def test_cost_exists_or_none(self):
+        result = self._study()
+        cost = result.cost
+        if cost is not None:
+            assert result.speedup(cost) > 1.0
+
+    def test_expensive_network_raises_cost(self):
+        cheap = self._study(g=1.0)
+        pricey = self._study(g=50.0)
+        cheap_cost = cheap.cost or 10**9
+        pricey_cost = pricey.cost or 10**9
+        assert pricey_cost >= cheap_cost
+
+    def test_formatting(self):
+        text = format_cost_study(self._study())
+        assert "COST" in text
+        assert "workers" in text
+
+    def test_speedup_unknown_workers(self):
+        with pytest.raises(KeyError):
+            self._study().speedup(999)
+
+
+class TestCli:
+    def test_cli_runs_subset(self, capsys):
+        from repro.cli import main
+
+        code = main(["--rows", "8", "--scale", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Euler Tour" in out
+
+    def test_cli_details(self, capsys):
+        from repro.cli import main
+
+        main(["--rows", "8", "--scale", "0.5", "--details"])
+        out = capsys.readouterr().out
+        assert "balance factors" in out

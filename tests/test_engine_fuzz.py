@@ -1,0 +1,128 @@
+"""Engine robustness: randomized vertex programs must respect the
+runtime's invariants regardless of what they do.
+
+A generated "chaos" program makes pseudo-random (but seeded, hence
+reproducible) choices each compute call — sending to random known
+vertices, charging work, aggregating, halting or not.  Whatever it
+does, the engine must terminate (given a bounded activity budget),
+keep its books consistent, and behave identically across runs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsp import SumAggregator, VertexProgram, run_program
+from repro.graph import erdos_renyi_graph
+
+
+class ChaosProgram(VertexProgram):
+    """A program whose behaviour is a pure function of a seed, the
+    vertex id, and the superstep — deterministic chaos.
+
+    Every vertex stops emitting after ``budget`` supersteps, so the
+    run always terminates.
+    """
+
+    name = "chaos"
+
+    def __init__(self, seed: int, budget: int = 6):
+        self.seed = seed
+        self.budget = budget
+
+    def aggregators(self):
+        return {"traffic": SumAggregator()}
+
+    def _decision(self, vertex_id, superstep, salt) -> int:
+        return hash((self.seed, vertex_id, superstep, salt)) % 100
+
+    def compute(self, vertex, messages, ctx):
+        if vertex.value is None:
+            vertex.value = 0
+        vertex.value += len(messages)
+        if ctx.superstep < self.budget:
+            d = self._decision(vertex.id, ctx.superstep, "send")
+            if d < 60 and vertex.out_edges:
+                targets = vertex.sorted_neighbors()
+                pick = targets[d % len(targets)]
+                ctx.send(pick, 1)
+                ctx.aggregate("traffic", 1)
+            if d % 7 == 0:
+                ctx.charge(d % 5)
+            if d % 11 == 0:
+                # Message to self is legal.
+                ctx.send(vertex.id, 1)
+                ctx.aggregate("traffic", 1)
+        if self._decision(vertex.id, ctx.superstep, "halt") < 80:
+            vertex.vote_to_halt()
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.integers(0, 10**6),
+    st.integers(5, 40),
+    st.integers(1, 6),
+)
+def test_chaos_terminates_and_balances_books(seed, n, workers):
+    graph = erdos_renyi_graph(n, 0.15, seed=seed % 100)
+    result = run_program(
+        graph,
+        ChaosProgram(seed),
+        num_workers=workers,
+        max_supersteps=200,
+    )
+    stats = result.stats
+    # Book-keeping invariants.
+    for s in stats.supersteps:
+        assert sum(s.sent_logical) == sum(s.received_logical)
+        assert sum(s.sent_network) <= sum(s.sent_logical)
+        assert s.total_remote_messages <= s.total_messages
+        assert s.w >= 0 and s.h >= 0
+    # Every consumed message was sent: values sum to sends (self
+    # messages included), minus any still queued (none at
+    # termination).
+    consumed = sum(result.values.values())
+    assert consumed == stats.total_messages
+    # Aggregator totals match the actual sends.
+    aggregated = sum(
+        (h.get("traffic") or 0) for h in result.aggregate_history
+    )
+    assert aggregated == stats.total_messages
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 10**6), st.integers(1, 6))
+def test_chaos_is_deterministic(seed, workers):
+    graph = erdos_renyi_graph(25, 0.2, seed=seed % 50)
+    a = run_program(
+        graph, ChaosProgram(seed), num_workers=workers,
+        max_supersteps=200,
+    )
+    b = run_program(
+        graph, ChaosProgram(seed), num_workers=workers,
+        max_supersteps=200,
+    )
+    assert a.values == b.values
+    assert a.num_supersteps == b.num_supersteps
+    assert a.stats.total_messages == b.stats.total_messages
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 10**6))
+def test_chaos_worker_count_invariant(seed):
+    # The answer must not depend on the simulated processor count.
+    graph = erdos_renyi_graph(25, 0.2, seed=seed % 50)
+    results = [
+        run_program(
+            graph, ChaosProgram(seed), num_workers=p,
+            max_supersteps=200,
+        )
+        for p in (1, 3, 7)
+    ]
+    assert results[0].values == results[1].values == results[2].values
+    assert (
+        results[0].stats.total_messages
+        == results[1].stats.total_messages
+        == results[2].stats.total_messages
+    )

@@ -1,0 +1,67 @@
+"""Tests for the figure-analog series generators."""
+
+import math
+
+from repro.core import Series, all_figures, format_series
+from repro.core.figures import (
+    boruvka_phase_series,
+    hashmin_superstep_series,
+    list_ranking_series,
+    sv_round_series,
+)
+
+
+class TestSeriesShapes:
+    def test_hashmin_paths_exactly_linear(self):
+        series = hashmin_superstep_series(sizes=(32, 64, 128))
+        paths = series["paths"]
+        # The Θ(δ) claim, exact: n supersteps on an n-path.
+        assert paths.ys == [32, 64, 128]
+
+    def test_hashmin_expanders_tiny(self):
+        series = hashmin_superstep_series(sizes=(64, 256))
+        assert all(y <= 8 for y in series["expanders"].ys)
+
+    def test_sv_one_round_per_doubling(self):
+        series = sv_round_series(sizes=(64, 128, 256, 512))
+        diffs = [
+            b - a for a, b in zip(series.ys, series.ys[1:])
+        ]
+        assert all(d == 1 for d in diffs)
+
+    def test_list_ranking_log_rounds(self):
+        rounds, messages = list_ranking_series(sizes=(64, 256, 1024))
+        for n, y in zip(rounds.xs, rounds.ys):
+            assert y <= 2 * (math.log2(n) + 2)
+        # Messages superlinear but within the n log n envelope.
+        for n, m in zip(messages.xs, messages.ys):
+            assert n < m <= 4 * n * math.log2(n)
+
+    def test_boruvka_logarithmic_phases(self):
+        series = boruvka_phase_series(sizes=(32, 128))
+        assert series.ys[1] < 3 * series.ys[0]
+
+
+class TestFormatting:
+    def test_format_series(self):
+        s = Series("demo", [1, 2], [3.0, 4.5])
+        text = format_series(s)
+        assert "demo" in text
+        assert "(1, 3)" in text
+        assert "(2, 4.5)" in text
+
+    def test_all_figures_returns_six(self):
+        figures = all_figures()
+        assert len(figures) == 6
+        assert all(isinstance(f, Series) for f in figures)
+        assert all(len(f.xs) == len(f.ys) >= 2 for f in figures)
+
+
+class TestCliFiguresFlag:
+    def test_cli_prints_series(self, capsys):
+        from repro.cli import main
+
+        main(["--rows", "8", "--scale", "0.5", "--figures"])
+        out = capsys.readouterr().out
+        assert "S-V rounds on paths" in out
+        assert "list-ranking total messages" in out

@@ -1,0 +1,185 @@
+"""Tests for the gather-apply-scatter engine and its three programs."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    HashMinComponents,
+    hash_min_gas,
+    pagerank_gas,
+    sssp_gas,
+)
+from repro.bsp import (
+    GASProgram,
+    NeighborView,
+    run_gas,
+    run_program,
+)
+from repro.graph import (
+    Graph,
+    barabasi_albert_graph,
+    connected_erdos_renyi_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+from repro.metrics import BSPCostModel
+from repro.sequential import (
+    connected_components,
+    dijkstra,
+    pagerank as seq_pagerank,
+)
+
+
+class TestGasComponents:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_sequential(self, seed):
+        g = erdos_renyi_graph(50, 0.05, seed=seed)
+        result = hash_min_gas(g)
+        assert result.values == connected_components(g)
+        assert result.converged
+
+    def test_isolated_vertices(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_edge("b", "c")
+        result = hash_min_gas(g)
+        assert result.values["a"] == "a"
+        assert result.values["b"] == result.values["c"] == "b"
+
+    def test_iterations_track_diameter(self):
+        result = hash_min_gas(path_graph(40))
+        assert result.num_iterations >= 39
+
+
+class TestGasSssp:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dijkstra(self, seed):
+        g = random_weighted_graph(
+            35, 0.12, seed=seed, distinct_weights=False
+        )
+        result = sssp_gas(g, 0)
+        expected = dijkstra(g, 0)
+        for v in g.vertices():
+            if v in expected:
+                assert result.values[v] == pytest.approx(expected[v])
+            else:
+                assert result.values[v] == math.inf
+
+    def test_directed(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, weight=2.0)
+        g.add_edge(1, 2, weight=3.0)
+        g.add_edge(0, 2, weight=10.0)
+        result = sssp_gas(g, 0)
+        assert result.values == {0: 0.0, 1: 2.0, 2: 5.0}
+
+
+class TestGasPagerank:
+    def test_converges_to_power_iteration(self):
+        g = connected_erdos_renyi_graph(40, 0.12, seed=4)
+        result = pagerank_gas(g, tolerance=1e-12, max_iterations=500)
+        expected = seq_pagerank(g, num_iterations=300)
+        assert result.converged
+        for v in g.vertices():
+            assert result.values[v] == pytest.approx(
+                expected[v], abs=1e-7
+            )
+
+    def test_iteration_cap_is_graceful(self):
+        g = connected_erdos_renyi_graph(30, 0.15, seed=5)
+        result = pagerank_gas(g, tolerance=1e-15, max_iterations=3)
+        assert not result.converged
+        assert result.num_iterations == 3
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank_gas(path_graph(3), damping=1.2)
+
+
+class TestPowerGraphAccounting:
+    def test_hub_h_relation_flattens(self):
+        # The PowerGraph pitch: a Pregel hub receives d(v) messages
+        # in one superstep; GAS mirrors fold them into one partial
+        # per worker.
+        g = star_graph(200)
+        pregel = run_program(g, HashMinComponents(), num_workers=8)
+        gas = hash_min_gas(g, num_workers=8)
+        assert gas.values == pregel.values
+        pregel_h = max(s.h for s in pregel.stats.supersteps)
+        gas_h = max(s.h for s in gas.stats.supersteps)
+        assert gas_h < pregel_h / 5
+        assert gas.stats.bsp_time < pregel.stats.bsp_time
+
+    def test_cost_model_is_shared(self):
+        g = star_graph(50)
+        cheap = hash_min_gas(g, cost_model=BSPCostModel(g=1.0))
+        pricey = hash_min_gas(g, cost_model=BSPCostModel(g=50.0))
+        assert cheap.values == pricey.values
+        assert pricey.stats.bsp_time >= cheap.stats.bsp_time
+
+    def test_remote_messages_tracked(self):
+        g = barabasi_albert_graph(100, 3, seed=6)
+        result = hash_min_gas(g, num_workers=4)
+        assert result.stats.total_remote_messages > 0
+        assert (
+            result.stats.total_remote_messages
+            <= result.stats.total_messages
+        )
+
+
+class TestCustomGasProgram:
+    def test_degree_program(self):
+        # A one-iteration program: value = in-degree (count gather).
+        class InDegree(GASProgram):
+            name = "in-degree"
+
+            def initial_value(self, vid, graph):
+                return 0
+
+            def gather(self, source: NeighborView, weight):
+                return 1
+
+            def fold(self, a, b):
+                return a + b
+
+            def identity(self):
+                return 0
+
+            def apply(self, vid, old, total):
+                return total
+
+            def should_scatter(self, old, new):
+                return False  # one pass
+
+        g = star_graph(10)
+        result = run_gas(g, InDegree())
+        assert result.values[0] == 9
+        assert all(result.values[v] == 1 for v in range(1, 10))
+        assert result.num_iterations == 1
+
+    def test_neighbor_view_exposes_out_degree(self):
+        seen = {}
+
+        class Probe(GASProgram):
+            def initial_value(self, vid, graph):
+                return 0
+
+            def gather(self, source: NeighborView, weight):
+                seen[source.id] = source.out_degree
+                return 0
+
+            def fold(self, a, b):
+                return a + b
+
+            def apply(self, vid, old, total):
+                return old
+
+            def should_scatter(self, old, new):
+                return False
+
+        g = star_graph(5)
+        run_gas(g, Probe())
+        assert seen[0] == 4

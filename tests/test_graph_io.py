@@ -1,0 +1,87 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    erdos_renyi_graph,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestRead:
+    def test_basic(self):
+        g = read_edge_list(io.StringIO("1 2\n2 3\n"))
+        assert g.num_vertices == 3
+        assert g.has_edge(1, 2)
+        assert not g.directed
+
+    def test_weights(self):
+        g = read_edge_list(io.StringIO("1 2 3.5\n"))
+        assert g.weight(1, 2) == 3.5
+
+    def test_comments_and_blanks(self):
+        g = read_edge_list(io.StringIO("# hello\n\n1 2\n"))
+        assert g.num_edges == 1
+
+    def test_directed_header(self):
+        g = read_edge_list(io.StringIO("# directed\n1 2\n"))
+        assert g.directed
+        assert not g.has_edge(2, 1)
+
+    def test_directed_override(self):
+        g = read_edge_list(io.StringIO("1 2\n"), directed=True)
+        assert g.directed
+
+    def test_undirected_header_not_directed(self):
+        g = read_edge_list(io.StringIO("# undirected n=2 m=1\n1 2\n"))
+        assert not g.directed
+
+    def test_isolated_vertices(self):
+        g = read_edge_list(io.StringIO("1 2\n7\n"))
+        assert g.has_vertex(7)
+        assert g.degree(7) == 0
+
+    def test_string_ids(self):
+        g = read_edge_list(io.StringIO("alice bob\n"))
+        assert g.has_edge("alice", "bob")
+
+    def test_malformed_raises(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("1 2 3 4 5\n"))
+
+
+class TestRoundTrip:
+    def test_roundtrip_file(self, tmp_path):
+        g = erdos_renyi_graph(25, 0.2, seed=8)
+        g.add_vertex(999)  # isolated
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h.num_vertices == g.num_vertices
+        assert h.num_edges == g.num_edges
+        assert h.has_vertex(999)
+        for u, v in g.edges():
+            assert h.has_edge(u, v)
+
+    def test_roundtrip_weights_directed(self, tmp_path):
+        g = Graph(directed=True)
+        g.add_edge(1, 2, weight=4.5)
+        g.add_edge(2, 1, weight=2.0)
+        path = tmp_path / "w.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h.directed
+        assert h.weight(1, 2) == 4.5
+        assert h.weight(2, 1) == 2.0
+
+    def test_write_to_handle(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        assert "1 2" in buf.getvalue()

@@ -1,0 +1,175 @@
+"""Tests for the cost model, run statistics, op counter and the
+growth-rate estimators."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    BSPCostModel,
+    OpCounter,
+    RunStats,
+    SuperstepStats,
+    ensure_counter,
+    grows_at_most_logarithmically,
+    growth_exponent,
+    is_bounded,
+    ratio_growth,
+)
+
+
+class TestCostModel:
+    def test_superstep_cost_is_max(self):
+        m = BSPCostModel(g=2.0, L=5.0)
+        assert m.superstep_cost(w=10, h=3) == 10  # work dominates
+        assert m.superstep_cost(w=1, h=10) == 20  # g*h dominates
+        assert m.superstep_cost(w=1, h=1) == 5  # L floor
+
+    def test_from_profiles(self):
+        m = BSPCostModel(g=1.0, L=1.0)
+        cost = m.superstep_cost_from_profiles(
+            work=[4, 9, 2], sent=[1, 2, 3], received=[5, 0, 0]
+        )
+        assert cost == 9  # w = 9 beats h = max(max(1,5),2,3) = 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BSPCostModel(g=0)
+        with pytest.raises(ValueError):
+            BSPCostModel(L=-1)
+
+    def test_default_g_is_unit(self):
+        assert BSPCostModel().g == 1.0
+
+
+class TestSuperstepStats:
+    def _stats(self):
+        return SuperstepStats(
+            superstep=0,
+            work=[10.0, 2.0],
+            sent_logical=[4, 1],
+            received_logical=[1, 4],
+            sent_network=[3, 1],
+            received_network=[1, 3],
+            active_vertices=5,
+        )
+
+    def test_w_and_h(self):
+        s = self._stats()
+        assert s.w == 10.0
+        assert s.h == 3  # max over workers of max(s_i, r_i), network
+
+    def test_totals(self):
+        s = self._stats()
+        assert s.total_work == 12.0
+        assert s.total_messages == 5
+        assert s.total_network_messages == 4
+
+    def test_cost(self):
+        s = self._stats()
+        assert s.cost(BSPCostModel()) == 10.0
+        assert s.cost(BSPCostModel(g=10.0)) == 30.0
+
+    def test_imbalance(self):
+        s = self._stats()
+        assert s.imbalance() == pytest.approx(10.0 / 6.0)
+        idle = SuperstepStats(0, [0.0], [0], [0], [0], [0])
+        assert idle.imbalance() == 1.0
+
+
+class TestRunStats:
+    def test_aggregation(self):
+        run = RunStats(num_workers=2)
+        for i in range(3):
+            run.supersteps.append(
+                SuperstepStats(
+                    superstep=i,
+                    work=[5.0, 5.0],
+                    sent_logical=[2, 2],
+                    received_logical=[2, 2],
+                    sent_network=[2, 2],
+                    received_network=[2, 2],
+                )
+            )
+        assert run.num_supersteps == 3
+        assert run.total_messages == 12
+        assert run.total_work == 30.0
+        assert run.bsp_time == 15.0
+        assert run.time_processor_product == 30.0
+        assert run.max_imbalance == 1.0
+        summary = run.summary()
+        assert summary["supersteps"] == 3
+        assert summary["time_processor_product"] == 30.0
+
+
+class TestOpCounter:
+    def test_add_and_reset(self):
+        c = OpCounter()
+        c.add()
+        c.add(5)
+        assert int(c) == 6
+        c.reset()
+        assert c.ops == 0
+
+    def test_ensure_counter(self):
+        c = OpCounter()
+        assert ensure_counter(c) is c
+        fresh = ensure_counter(None)
+        assert isinstance(fresh, OpCounter)
+        assert fresh.ops == 0
+
+
+class TestGrowthEstimators:
+    def test_growth_exponent_linear(self):
+        xs = [10, 20, 40, 80]
+        ys = [x * 3 for x in xs]
+        assert growth_exponent(xs, ys) == pytest.approx(1.0)
+
+    def test_growth_exponent_quadratic(self):
+        xs = [10, 20, 40, 80]
+        ys = [x * x for x in xs]
+        assert growth_exponent(xs, ys) == pytest.approx(2.0)
+
+    def test_growth_exponent_constant(self):
+        xs = [10, 20, 40, 80]
+        ys = [7, 7, 7, 7]
+        assert abs(growth_exponent(xs, ys)) < 0.01
+
+    def test_growth_exponent_validation(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1], [1])
+        with pytest.raises(ValueError):
+            growth_exponent([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            growth_exponent([0, 2], [1, 2])
+        with pytest.raises(ValueError):
+            growth_exponent([2, 2], [1, 2])
+
+    def test_is_bounded(self):
+        assert is_bounded([5, 6, 7, 5.5])
+        assert not is_bounded([5, 10, 20, 40])
+        with pytest.raises(ValueError):
+            is_bounded([])
+
+    def test_logarithmic_series_accepted(self):
+        ns = [2**k for k in range(4, 12)]
+        ys = [3 * math.log2(n) + 2 for n in ns]
+        assert grows_at_most_logarithmically(ns, ys)
+
+    def test_constant_series_accepted(self):
+        ns = [2**k for k in range(4, 10)]
+        assert grows_at_most_logarithmically(ns, [2] * len(ns))
+
+    def test_linear_series_rejected(self):
+        ns = [2**k for k in range(4, 12)]
+        ys = [0.5 * n for n in ns]
+        assert not grows_at_most_logarithmically(ns, ys)
+
+    def test_sqrt_series_rejected(self):
+        ns = [2**k for k in range(4, 14)]
+        ys = [math.sqrt(n) for n in ns]
+        assert not grows_at_most_logarithmically(ns, ys)
+
+    def test_ratio_growth_alias(self):
+        xs = [10, 100, 1000]
+        assert ratio_growth(xs, [1, 1, 1]) == pytest.approx(0.0)

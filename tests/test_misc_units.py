@@ -1,0 +1,156 @@
+"""Unit coverage for the smaller corners: the error hierarchy, the
+pipeline result aggregation, the mutation log, vertex state and the
+repr_key total order."""
+
+import pytest
+
+from repro import errors
+from repro.algorithms import PipelineResult, as_pipeline
+from repro.algorithms.cc_hashmin import repr_key
+from repro.bsp import VertexProgram, VertexState, run_program
+from repro.bsp.mutation import MutationLog
+from repro.graph import path_graph
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or (
+                    obj is errors.ReproError
+                )
+
+    def test_dual_inheritance_for_lookup_errors(self):
+        assert issubclass(errors.VertexNotFoundError, KeyError)
+        assert issubclass(errors.EdgeNotFoundError, KeyError)
+        assert issubclass(errors.UnknownWorkloadError, KeyError)
+        assert issubclass(errors.NotATreeError, ValueError)
+        assert issubclass(errors.SuperstepLimitExceeded, RuntimeError)
+
+    def test_messages_carry_context(self):
+        err = errors.VertexNotFoundError(42)
+        assert "42" in str(err)
+        assert err.vertex == 42
+        err = errors.EdgeNotFoundError("a", "b")
+        assert err.u == "a" and err.v == "b"
+        err = errors.SuperstepLimitExceeded(100, "pagerank")
+        assert "pagerank" in str(err)
+        err = errors.UnknownWorkloadError("x", {"a", "b"})
+        assert "a" in str(err)
+
+
+class TestReprKey:
+    def test_numbers_sort_numerically(self):
+        assert repr_key(2) < repr_key(10)
+        assert repr_key(2.5) < repr_key(3)
+
+    def test_mixed_types_are_totally_ordered(self):
+        values = [3, "b", (1, 2), "a", 7, ("L", 0)]
+        ordered = sorted(values, key=repr_key)
+        # Total order, numbers first.
+        assert ordered[0] == 3 and ordered[1] == 7
+        assert sorted(ordered, key=repr_key) == ordered
+
+    def test_bools_are_not_confused_with_ints(self):
+        # bool is an int subclass; repr_key must not place True == 1.
+        assert repr_key(True) != repr_key(1)
+
+
+class TestPipelineResult:
+    def _fake_stage(self, supersteps, messages):
+        class FakeStats:
+            def __init__(self):
+                self.total_messages = messages
+                self.total_work = float(messages * 2)
+                self.time_processor_product = float(messages * 4)
+
+        class FakeStage:
+            def __init__(self):
+                self.num_supersteps = supersteps
+                self.stats = FakeStats()
+                self.bppa = None
+
+        return FakeStage()
+
+    def test_aggregation(self):
+        result = PipelineResult(
+            output="x",
+            stages=[self._fake_stage(3, 10), self._fake_stage(2, 5)],
+        )
+        assert result.num_supersteps == 5
+        assert result.total_messages == 15
+        assert result.total_work == 30.0
+        assert result.time_processor_product == 60.0
+        assert result.bppa is None
+
+    def test_as_pipeline_helper(self):
+        stage = self._fake_stage(1, 1)
+        result = as_pipeline({"answer": 42}, stage)
+        assert result.output == {"answer": 42}
+        assert result.stages == [stage]
+
+    def test_bppa_merge_takes_worst(self):
+        from repro.metrics import BppaObservation
+
+        a = self._fake_stage(1, 1)
+        b = self._fake_stage(2, 2)
+        a.bppa = BppaObservation(
+            n=10, num_supersteps=1, storage_factor=1.0,
+            compute_factor=5.0, message_factor=0.5,
+        )
+        b.bppa = BppaObservation(
+            n=10, num_supersteps=2, storage_factor=3.0,
+            compute_factor=1.0, message_factor=2.0,
+        )
+        merged = PipelineResult(output=None, stages=[a, b]).bppa
+        assert merged.storage_factor == 3.0
+        assert merged.compute_factor == 5.0
+        assert merged.message_factor == 2.0
+        assert merged.num_supersteps == 3
+
+
+class TestMutationLog:
+    def test_empty_and_clear(self):
+        log = MutationLog()
+        assert log.is_empty()
+        log.add_edges.append((1, 2, 1.0))
+        log.remove_vertices.append(3)
+        assert not log.is_empty()
+        log.clear()
+        assert log.is_empty()
+
+
+class TestVertexState:
+    def test_defaults_and_aliases(self):
+        state = VertexState("v")
+        assert state.value is None
+        assert state.out_edges == {}
+        assert state.in_edges is state.out_edges  # undirected alias
+        assert state.active
+
+    def test_vote_to_halt(self):
+        state = VertexState("v")
+        state.vote_to_halt()
+        assert state.halted and not state.active
+
+    def test_neighbor_helpers(self):
+        state = VertexState("v", out_edges={5: 1.0, 2: 1.0, 9: 1.0})
+        assert sorted(state.neighbors()) == [2, 5, 9]
+        assert state.sorted_neighbors() == [2, 5, 9]
+        assert state.out_degree() == 3
+
+
+class TestProgramDefaults:
+    def test_default_hooks(self):
+        class Minimal(VertexProgram):
+            def compute(self, vertex, messages, ctx):
+                vertex.vote_to_halt()
+
+        program = Minimal()
+        assert program.aggregators() == {}
+        g = path_graph(3)
+        result = run_program(g, program)
+        assert result.num_supersteps == 1
+        # Default initial value is None; default state size is 0.
+        assert all(v is None for v in result.values.values())

@@ -1,0 +1,74 @@
+"""Tests for vertex partitioners."""
+
+import pytest
+
+from repro.graph import (
+    GreedyEdgeBalancedPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    barabasi_albert_graph,
+    partition_counts,
+    path_graph,
+    star_graph,
+)
+
+
+class TestHashPartitioner:
+    def test_range_of_outputs(self):
+        p = HashPartitioner(4)
+        g = path_graph(100)
+        for v in g.vertices():
+            assert 0 <= p(v) < 4
+
+    def test_roughly_balanced_on_contiguous_ids(self):
+        g = path_graph(100)
+        counts = partition_counts(g, HashPartitioner(4), 4)
+        assert counts == [25, 25, 25, 25]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_contiguity(self):
+        g = path_graph(12)
+        p = RangePartitioner(g, 3)
+        # Sorted-by-repr order for ints 0..9,10,11 is lexicographic,
+        # but each worker still gets a contiguous chunk of that order.
+        counts = partition_counts(g, p, 3)
+        assert sum(counts) == 12
+        assert max(counts) - min(counts) <= 1
+
+    def test_unknown_vertex_falls_back(self):
+        g = path_graph(4)
+        p = RangePartitioner(g, 2)
+        assert 0 <= p("missing") < 2
+
+    def test_invalid_worker_count(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            RangePartitioner(g, 0)
+
+
+class TestGreedyPartitioner:
+    def test_degree_balance_on_skewed_graph(self):
+        g = star_graph(41)  # hub degree 40, leaves degree 1
+        p = GreedyEdgeBalancedPartitioner(g, 4)
+        loads = [0] * 4
+        for v in g.vertices():
+            loads[p(v)] += g.degree(v)
+        # Hub alone weighs as much as all leaves; greedy LPT puts the
+        # hub on one worker and spreads leaves over the others.
+        assert max(loads) <= 41
+
+    def test_all_vertices_assigned(self):
+        g = barabasi_albert_graph(60, 2, seed=1)
+        p = GreedyEdgeBalancedPartitioner(g, 5)
+        counts = partition_counts(g, p, 5)
+        assert sum(counts) == 60
+
+    def test_invalid_worker_count(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            GreedyEdgeBalancedPartitioner(g, -1)

@@ -1,0 +1,96 @@
+"""Tests for the §3.8-point-1 online point queries."""
+
+import math
+
+import pytest
+
+from repro.algorithms import is_reachable, point_to_point_distance
+from repro.graph import (
+    Graph,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+)
+from repro.sequential import dijkstra, dijkstra_to_target
+
+
+class TestPointToPoint:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("target", [3, 17, 34])
+    def test_matches_dijkstra(self, seed, target):
+        g = random_weighted_graph(
+            35, 0.12, seed=seed, distinct_weights=False
+        )
+        distance, _ = point_to_point_distance(g, 0, target)
+        expected = dijkstra(g, 0).get(target)
+        if expected is None:
+            assert distance is None
+        else:
+            assert distance == pytest.approx(expected)
+
+    def test_source_equals_target(self):
+        g = path_graph(5)
+        distance, result = point_to_point_distance(g, 2, 2)
+        assert distance == 0.0
+        assert result.num_supersteps <= 2
+
+    def test_unreachable(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)
+        distance, _ = point_to_point_distance(g, 0, 2)
+        assert distance is None
+
+    def test_early_halt_saves_supersteps(self):
+        # A nearby target on a long path: the run must stop near the
+        # target's depth, not sweep the whole diameter.
+        g = path_graph(300)
+        _, result = point_to_point_distance(g, 0, 10)
+        assert result.num_supersteps <= 14
+
+    def test_whole_graph_activation_is_the_waste(self):
+        # §3.8 point 1, measured: superstep 0 activates every vertex
+        # regardless of how local the query is, so the vertex-centric
+        # job's work scales with n while the sequential early-exit
+        # Dijkstra's ball stays constant.
+        from repro.metrics import OpCounter
+
+        seq_ops = []
+        vc_work = []
+        for side in (8, 16, 32):
+            g = grid_graph(side, side)
+            _, result = point_to_point_distance(g, (0, 0), (2, 2))
+            vc_work.append(result.stats.total_work)
+            ops = OpCounter()
+            assert dijkstra_to_target(g, (0, 0), (2, 2), ops) == 4.0
+            seq_ops.append(ops.ops)
+        assert seq_ops[-1] <= 1.5 * seq_ops[0]  # ball-local
+        # vc work ≈ n + ball: the n term dominates as the graph grows.
+        assert vc_work[-1] > 5 * vc_work[0]
+        assert vc_work[-1] >= 32 * 32  # at least one op per vertex
+
+
+class TestReachability:
+    def test_directed_reachability(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 0)
+        assert is_reachable(g, 0, 2)[0]
+        assert is_reachable(g, 3, 2)[0]
+        assert not is_reachable(g, 2, 0)[0]
+
+    def test_halts_on_arrival(self):
+        g = path_graph(200)
+        reachable, result = is_reachable(g, 0, 5)
+        assert reachable
+        assert result.num_supersteps <= 8
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_bfs(self, seed):
+        from repro.graph import bfs_distances, erdos_renyi_graph
+
+        g = erdos_renyi_graph(40, 0.04, seed=seed)
+        reach_from_0 = set(bfs_distances(g, 0))
+        for t in (1, 10, 25, 39):
+            assert is_reachable(g, 0, t)[0] == (t in reach_from_0)

@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for edge-list I/O."""
+
+import io
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import Graph, read_edge_list, write_edge_list
+
+vertex_ids = st.integers(0, 30)
+weights = st.one_of(
+    st.just(1.0),
+    st.floats(
+        0.25, 1000.0, allow_nan=False, allow_infinity=False
+    ).map(lambda w: round(w, 4)),
+)
+edge_entries = st.lists(
+    st.tuples(vertex_ids, vertex_ids, weights), max_size=40
+)
+
+
+def build(entries, directed):
+    g = Graph(directed=directed)
+    for u, v, w in entries:
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestRoundTrip:
+    @given(edge_entries, st.booleans())
+    def test_structure_survives(self, entries, directed):
+        g = build(entries, directed)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        h = read_edge_list(buf)
+        assert h.directed == g.directed
+        assert h.num_vertices == g.num_vertices
+        assert h.num_edges == g.num_edges
+        for u, v, data in g.edges(data=True):
+            assert h.has_edge(u, v)
+            assert abs(h.weight(u, v) - data.weight) < 1e-9
+
+    @given(edge_entries)
+    def test_isolated_vertices_survive(self, entries):
+        g = build(entries, directed=False)
+        g.add_vertex(999)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        h = read_edge_list(buf)
+        assert h.has_vertex(999)
+        assert set(h.vertices()) == set(g.vertices())
+
+    @given(edge_entries, st.booleans())
+    def test_double_round_trip_is_stable(self, entries, directed):
+        g = build(entries, directed)
+        buf1 = io.StringIO()
+        write_edge_list(g, buf1)
+        buf1.seek(0)
+        h = read_edge_list(buf1)
+        buf2 = io.StringIO()
+        write_edge_list(h, buf2)
+        buf2.seek(0)
+        k = read_edge_list(buf2)
+
+        def canonical(graph):
+            # Undirected edge identity is the unordered pair.
+            if graph.directed:
+                return sorted(map(repr, graph.edges()))
+            return sorted(repr(tuple(sorted(e))) for e in graph.edges())
+
+        assert canonical(k) == canonical(h)

@@ -1,0 +1,150 @@
+"""Tests for the heap implementations and union-find."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import OpCounter
+from repro.sequential import BinaryHeap, PairingHeap, UnionFind
+
+
+@pytest.fixture(params=[BinaryHeap, PairingHeap])
+def heap_cls(request):
+    return request.param
+
+
+class TestHeaps:
+    def test_pop_order(self, heap_cls):
+        h = heap_cls()
+        for item, key in [("a", 3), ("b", 1), ("c", 2)]:
+            h.insert(item, key)
+        assert h.pop_min() == ("b", 1)
+        assert h.pop_min() == ("c", 2)
+        assert h.pop_min() == ("a", 3)
+        assert h.is_empty()
+
+    def test_pop_empty_raises(self, heap_cls):
+        with pytest.raises(IndexError):
+            heap_cls().pop_min()
+
+    def test_decrease_key(self, heap_cls):
+        h = heap_cls()
+        h.insert("x", 10)
+        h.insert("y", 5)
+        assert h.insert("x", 1) is True  # decrease
+        assert h.pop_min() == ("x", 1)
+
+    def test_increase_attempt_ignored(self, heap_cls):
+        h = heap_cls()
+        h.insert("x", 1)
+        assert h.insert("x", 10) is False
+        assert h.pop_min() == ("x", 1)
+
+    def test_random_sequences_sort(self, heap_cls):
+        rng = random.Random(0)
+        for trial in range(20):
+            items = list(range(rng.randint(1, 50)))
+            keys = {i: rng.random() for i in items}
+            h = heap_cls()
+            for i in items:
+                h.insert(i, keys[i])
+            # Random decrease-keys.
+            for i in rng.sample(items, len(items) // 3):
+                keys[i] = keys[i] / 2
+                h.decrease_key(i, keys[i])
+            popped = []
+            while not h.is_empty():
+                popped.append(h.pop_min())
+            assert [i for i, _ in popped] == sorted(
+                items, key=lambda i: keys[i]
+            )
+
+    def test_ops_charged(self, heap_cls):
+        c = OpCounter()
+        h = heap_cls(c)
+        for i in range(10):
+            h.insert(i, -i)
+        while not h.is_empty():
+            h.pop_min()
+        assert c.ops > 0
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+    def test_heapsort_property_binary(self, keys):
+        h = BinaryHeap()
+        for i, k in enumerate(keys):
+            h.insert(i, k)
+        out = []
+        while not h.is_empty():
+            out.append(h.pop_min()[1])
+        assert out == sorted(keys)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+    def test_heapsort_property_pairing(self, keys):
+        h = PairingHeap()
+        for i, k in enumerate(keys):
+            h.insert(i, k)
+        out = []
+        while not h.is_empty():
+            out.append(h.pop_min()[1])
+        assert out == sorted(keys)
+
+    def test_pairing_peek(self):
+        h = PairingHeap()
+        h.insert("a", 2)
+        h.insert("b", 1)
+        assert h.peek_min() == ("b", 1)
+        assert len(h) == 2
+        with pytest.raises(IndexError):
+            PairingHeap().peek_min()
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(range(5))
+        assert uf.num_sets == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_and_find(self):
+        uf = UnionFind(range(4))
+        assert uf.union(0, 1) is True
+        assert uf.union(0, 1) is False
+        assert uf.same_set(0, 1)
+        assert not uf.same_set(0, 2)
+        assert uf.num_sets == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.same_set(0, 2)
+        assert not uf.same_set(2, 3)
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert uf.num_sets == 1
+        assert "x" in uf
+        assert "y" not in uf
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 19)),
+            max_size=60,
+        )
+    )
+    def test_matches_naive_partition(self, pairs):
+        uf = UnionFind(range(20))
+        naive = {i: {i} for i in range(20)}
+        for a, b in pairs:
+            uf.union(a, b)
+            if naive[a] is not naive[b]:
+                merged = naive[a] | naive[b]
+                for x in merged:
+                    naive[x] = merged
+        for a in range(20):
+            for b in range(20):
+                assert uf.same_set(a, b) == (b in naive[a])

@@ -1,0 +1,40 @@
+"""Seed stability of the Table 1 verdicts.
+
+The committed sweeps run at seed 0; the verdicts must not be artifacts
+of that seed.  A selection of rows covering every verdict combination
+(flat/growing ratio × BPPA yes/no, deterministic and randomized
+algorithms) is re-run at other seeds; the derived verdicts must match
+the paper on each.  Fast rows only — the full multi-seed sweep is a
+benchmark concern.
+"""
+
+import pytest
+
+from repro.core.table1 import ROWS, run_row
+
+_SPEC = {spec.row: spec for spec in ROWS}
+
+# (row, shrunken sizes) — chosen to keep this module under ~20 s.
+_CASES = [
+    (1, (16, 32, 64)),       # flat ratio, BPPA No (deterministic)
+    (3, (32, 64, 128, 256)),  # growing ratio (deterministic paths)
+    (8, (32, 64, 128, 256)),  # BPPA Yes, no more work (random trees)
+    (13, (16, 32, 64)),       # growing ratio (deterministic weights)
+    (16, (16, 32, 64)),       # split P4 family (random weighted ER)
+    (19, (12, 24, 48)),       # simulation cascade (deterministic)
+]
+
+
+@pytest.mark.parametrize("row,sizes", _CASES)
+@pytest.mark.parametrize("seed", [1, 2])
+def test_verdicts_stable_across_seeds(row, sizes, seed):
+    spec = _SPEC[row]
+    result = run_row(spec, seed=seed, sizes=sizes)
+    assert result.result.more_work == spec.paper_more_work, (
+        f"row {row} seed {seed}: more-work flipped "
+        f"(ratios {[round(r, 2) for r in result.result.ratios]})"
+    )
+    assert result.result.bppa.is_bppa == spec.paper_bppa, (
+        f"row {row} seed {seed}: BPPA flipped "
+        f"(violations {result.result.bppa.failures()})"
+    )

@@ -1,0 +1,97 @@
+"""Tests for rooted-tree helpers and the reference Euler tour."""
+
+import pytest
+
+from repro.errors import NotATreeError
+from repro.graph import (
+    balanced_binary_tree,
+    children_map,
+    cycle_graph,
+    euler_tour_edges,
+    path_graph,
+    random_tree,
+    root_tree,
+    subtree_sizes,
+)
+
+
+class TestRootTree:
+    def test_parent_and_depth_on_path(self):
+        g = path_graph(4)
+        parent, depth = root_tree(g, 0)
+        assert parent == {0: None, 1: 0, 2: 1, 3: 2}
+        assert depth == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_reroot(self):
+        g = path_graph(3)
+        parent, depth = root_tree(g, 2)
+        assert parent[2] is None
+        assert depth[0] == 2
+
+    def test_non_tree_raises(self):
+        with pytest.raises(NotATreeError):
+            root_tree(cycle_graph(4), 0)
+
+    def test_missing_root_raises(self):
+        with pytest.raises(NotATreeError):
+            root_tree(path_graph(3), 99)
+
+
+class TestChildrenAndSizes:
+    def test_children_map(self):
+        g = balanced_binary_tree(2)
+        parent, _ = root_tree(g, 0)
+        children = children_map(parent)
+        assert children[0] == [1, 2]
+        assert children[3] == []
+
+    def test_subtree_sizes_binary(self):
+        g = balanced_binary_tree(2)  # 7 vertices
+        parent, _ = root_tree(g, 0)
+        size = subtree_sizes(parent)
+        assert size[0] == 7
+        assert size[1] == size[2] == 3
+        assert all(size[v] == 1 for v in (3, 4, 5, 6))
+
+    def test_subtree_sizes_random(self):
+        g = random_tree(40, seed=6)
+        parent, _ = root_tree(g, 0)
+        size = subtree_sizes(parent)
+        assert size[0] == 40
+        assert sum(1 for s in size.values() if s == 1) >= 1
+
+
+class TestEulerTour:
+    def test_tour_visits_each_directed_edge_once(self):
+        g = random_tree(20, seed=2)
+        tour = euler_tour_edges(g, 0)
+        assert len(tour) == 2 * (20 - 1)
+        assert len(set(tour)) == len(tour)
+        for u, v in tour:
+            assert g.has_edge(u, v)
+
+    def test_tour_is_a_closed_trail(self):
+        g = random_tree(15, seed=5)
+        tour = euler_tour_edges(g, 0)
+        for (u1, v1), (u2, v2) in zip(tour, tour[1:]):
+            assert v1 == u2
+        assert tour[-1][1] == tour[0][0]
+
+    def test_tour_starts_at_root_first_neighbor(self):
+        g = path_graph(3)
+        tour = euler_tour_edges(g, 0)
+        assert tour[0] == (0, 1)
+        assert tour == [(0, 1), (1, 2), (2, 1), (1, 0)]
+
+    def test_single_vertex_tree(self):
+        g = random_tree(1)
+        assert euler_tour_edges(g, 0) == []
+
+    def test_paper_figure_convention(self):
+        # next_v(u) cycles the id-sorted adjacency of v (§3.4.1).
+        g = path_graph(3)
+        # At vertex 1, sorted neighbors are [0, 2]: after arriving on
+        # (0, 1) the tour continues to next_1(0) = 2.
+        tour = euler_tour_edges(g, 0)
+        idx = tour.index((0, 1))
+        assert tour[(idx + 1) % len(tour)] == (1, 2)

@@ -1,0 +1,148 @@
+"""Tests for the §3.8 LCC workload, the serial-finish optimization
+and the BFS-grow partitioner."""
+
+import pytest
+
+from repro.algorithms import (
+    hash_min_components,
+    hash_min_with_serial_finish,
+    local_clustering,
+)
+from repro.graph import (
+    BfsGrowPartitioner,
+    Graph,
+    barabasi_albert_graph,
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    partition_counts,
+    path_graph,
+    star_graph,
+)
+from repro.sequential import (
+    connected_components,
+    local_clustering as seq_lcc,
+)
+
+
+class TestLocalClustering:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_sequential(self, seed):
+        g = erdos_renyi_graph(40, 0.15, seed=seed)
+        ours, _ = local_clustering(g)
+        assert ours == pytest.approx(seq_lcc(g))
+
+    def test_complete_graph_all_ones(self):
+        g = complete_graph(6)
+        coefficients, _ = local_clustering(g)
+        assert all(
+            c == pytest.approx(1.0) for c in coefficients.values()
+        )
+
+    def test_star_all_zero(self):
+        coefficients, _ = local_clustering(star_graph(8))
+        assert all(c == 0.0 for c in coefficients.values())
+
+    def test_triangle_with_tail(self):
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (2, 0), (2, 3)]:
+            g.add_edge(a, b)
+        coefficients, _ = local_clustering(g)
+        assert coefficients[0] == pytest.approx(1.0)
+        assert coefficients[2] == pytest.approx(1.0 / 3.0)
+        assert coefficients[3] == 0.0
+
+    def test_low_degree_convention(self):
+        coefficients, _ = local_clustering(path_graph(3))
+        assert coefficients[0] == 0.0  # degree 1
+
+    def test_superstep_count_fixed(self):
+        g = barabasi_albert_graph(60, 3, seed=4)
+        _, result = local_clustering(g)
+        assert result.num_supersteps == 3
+
+
+class TestSerialFinish:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_labels_as_pure_pregel(self, seed):
+        g = erdos_renyi_graph(60, 0.04, seed=seed)
+        optimized = hash_min_with_serial_finish(g, threshold=0.2)
+        assert optimized.values == connected_components(g)
+
+    def test_saves_supersteps_on_paths(self):
+        # On paths the active set shrinks by one frontier vertex per
+        # superstep; cutting over at 50% activity halves the
+        # superstep count and replaces the tail with one O(m+n) pass.
+        g = path_graph(200)
+        pure = hash_min_components(g)
+        optimized = hash_min_with_serial_finish(g, threshold=0.5)
+        assert optimized.values == connected_components(g)
+        assert optimized.num_supersteps < 0.6 * pure.num_supersteps
+        assert optimized.serial_ops > 0
+
+    def test_combined_cost_beats_pure_on_paths(self):
+        g = path_graph(300)
+        pure = hash_min_components(g)
+        optimized = hash_min_with_serial_finish(g, threshold=0.5)
+        assert (
+            optimized.combined_cost
+            < pure.stats.time_processor_product
+        )
+
+    def test_threshold_zero_is_pure_pregel(self):
+        g = path_graph(40)
+        optimized = hash_min_with_serial_finish(g, threshold=0.0)
+        pure = hash_min_components(g)
+        assert optimized.num_supersteps == pure.num_supersteps
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            hash_min_with_serial_finish(path_graph(4), threshold=2.0)
+
+
+class TestBfsGrowPartitioner:
+    def test_every_vertex_assigned(self):
+        g = connected_erdos_renyi_graph(50, 0.08, seed=1)
+        p = BfsGrowPartitioner(g, 5)
+        counts = partition_counts(g, p, 5)
+        assert sum(counts) == 50
+
+    def test_roughly_balanced(self):
+        g = connected_erdos_renyi_graph(80, 0.06, seed=2)
+        counts = partition_counts(g, BfsGrowPartitioner(g, 4), 4)
+        assert max(counts) <= 2 * (80 // 4)
+
+    def test_locality_beats_hash_on_cycles(self):
+        from repro.algorithms import HashMinComponents
+        from repro.bsp import run_program
+        from repro.graph import HashPartitioner
+
+        g = cycle_graph(120)
+        local = run_program(
+            g,
+            HashMinComponents(),
+            num_workers=4,
+            partitioner=BfsGrowPartitioner(g, 4),
+        )
+        hashed = run_program(
+            g,
+            HashMinComponents(),
+            num_workers=4,
+            partitioner=HashPartitioner(4),
+        )
+        assert local.values == hashed.values
+        # Contiguous regions keep almost all cycle traffic local.
+        assert (
+            local.stats.total_remote_messages
+            < hashed.stats.total_remote_messages / 4
+        )
+
+    def test_unknown_vertex_falls_back(self):
+        g = path_graph(6)
+        p = BfsGrowPartitioner(g, 2)
+        assert 0 <= p("ghost") < 2
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            BfsGrowPartitioner(path_graph(3), 0)

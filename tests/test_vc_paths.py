@@ -1,0 +1,179 @@
+"""Tests for the vertex-centric path/rank rows (1, 2, 16, 17)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import apsp, diameter, pagerank, sssp
+from repro.bsp import MinCombiner
+from repro.graph import (
+    Graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+from repro.sequential import (
+    all_pairs_shortest_paths as seq_apsp,
+    diameter as seq_diameter,
+    dijkstra,
+    pagerank as seq_pagerank,
+)
+
+
+class TestDiameter:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(10), 9),
+            (cycle_graph(12), 6),
+            (star_graph(8), 2),
+            (grid_graph(4, 5), 7),
+        ],
+    )
+    def test_known_diameters(self, graph, expected):
+        value, _ = diameter(graph)
+        assert value == expected
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_sequential(self, seed):
+        g = connected_erdos_renyi_graph(40, 0.08, seed=seed)
+        value, _ = diameter(g)
+        assert value == seq_diameter(g)
+
+    def test_supersteps_equal_diameter_plus_one(self):
+        # §3.1: the diameter equals the number of supersteps minus 1
+        # (the final, non-processing superstep).
+        g = path_graph(15)
+        value, result = diameter(g)
+        assert result.num_supersteps == value + 2  # +origin superstep
+
+    def test_not_bppa_storage(self):
+        # History sets hold O(n) ids: P1 violated on low-degree
+        # vertices.
+        g = path_graph(30)
+        _, result = diameter(g)
+        assert result.bppa.storage_factor > 1.0
+
+    def test_message_complexity_order_mn(self):
+        # Each vertex relays each of the n origins to all neighbors
+        # once: 2mn messages on a cycle (every origin reaches every
+        # vertex).
+        g = cycle_graph(16)
+        _, result = diameter(g)
+        assert result.stats.total_messages == 2 * g.num_edges * (
+            g.num_vertices
+        )
+
+
+class TestApsp:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_sequential(self, seed):
+        g = connected_erdos_renyi_graph(30, 0.1, seed=seed)
+        table, _ = apsp(g)
+        assert table == seq_apsp(g)
+
+    def test_disconnected_rows_partial(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        table, _ = apsp(g)
+        assert table[0] == {0: 0, 1: 1}
+        assert 2 not in table[0]
+
+
+class TestPageRank:
+    def test_uniform_on_cycle(self):
+        g = Graph(directed=True)
+        for i in range(10):
+            g.add_edge(i, (i + 1) % 10)
+        result = pagerank(g, num_supersteps=40)
+        for rank in result.values.values():
+            assert rank == pytest.approx(0.1, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_power_iteration(self, seed):
+        g = connected_erdos_renyi_graph(30, 0.1, seed=seed)
+        result = pagerank(g, num_supersteps=25)
+        reference = seq_pagerank(g, num_iterations=25)
+        for v in g.vertices():
+            assert result.values[v] == pytest.approx(
+                reference[v], abs=1e-9
+            )
+
+    def test_fixed_superstep_budget(self):
+        g = cycle_graph(8)
+        result = pagerank(g, num_supersteps=12)
+        assert result.num_supersteps == 13  # K updates + drain
+
+    def test_convergence_mode_stops_early(self):
+        g = connected_erdos_renyi_graph(30, 0.2, seed=8)
+        slow = pagerank(g, num_supersteps=80)
+        fast = pagerank(g, num_supersteps=80, tolerance=1e-4)
+        assert fast.num_supersteps < slow.num_supersteps
+        for v in g.vertices():
+            assert fast.values[v] == pytest.approx(
+                slow.values[v], abs=1e-3
+            )
+
+    def test_balanced_but_many_supersteps(self):
+        g = connected_erdos_renyi_graph(40, 0.1, seed=3)
+        result = pagerank(g, num_supersteps=30)
+        # Balanced: per-vertex load tracks degree.
+        assert result.bppa.message_factor <= 1.0
+        # Not BPPA: superstep count is the iteration budget, >> log n.
+        assert result.num_supersteps > math.log2(40)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            pagerank(cycle_graph(4), damping=1.5)
+        with pytest.raises(ValueError):
+            pagerank(cycle_graph(4), num_supersteps=0)
+
+
+class TestSssp:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dijkstra(self, seed):
+        g = random_weighted_graph(
+            35, 0.1, seed=seed, distinct_weights=False
+        )
+        result = sssp(g, 0)
+        expected = dijkstra(g, 0)
+        for v in g.vertices():
+            if v in expected:
+                assert result.values[v] == pytest.approx(expected[v])
+            else:
+                assert result.values[v] == math.inf
+
+    def test_unweighted_directed(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(0, 2)
+        result = sssp(g, 0)
+        assert result.values == {0: 0.0, 1: 1.0, 2: 1.0}
+
+    def test_min_combiner_same_answer(self):
+        g = random_weighted_graph(30, 0.15, seed=4)
+        plain = sssp(g, 0)
+        combined = sssp(g, 0, combiner=MinCombiner())
+        assert plain.values == combined.values
+        assert (
+            combined.stats.total_network_messages
+            <= plain.stats.total_network_messages
+        )
+
+    def test_more_work_than_dijkstra_on_paths(self):
+        # A weighted path with decreasing shortcuts re-relaxes
+        # vertices; the Pregel relaxation count exceeds edge count.
+        g = Graph()
+        n = 24
+        for i in range(n - 1):
+            g.add_edge(i, i + 1, weight=1.0)
+        # Shortcut edges that arrive earlier but cost more.
+        for i in range(0, n - 2, 2):
+            g.add_edge(i, i + 2, weight=2.5)
+        result = sssp(g, 0)
+        assert result.stats.total_messages > g.num_edges

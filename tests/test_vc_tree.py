@@ -1,0 +1,179 @@
+"""Tests for the vertex-centric tree rows (8, 9) and the BFS-tree
+primitive."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    bfs_tree,
+    euler_tour,
+    list_ranking,
+    tour_from_successors,
+    tree_traversal,
+)
+from repro.errors import NotATreeError
+from repro.graph import (
+    balanced_binary_tree,
+    caterpillar_tree,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    euler_tour_edges,
+    linked_list_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph import bfs_distances as ref_distances
+from repro.sequential import euler_orders
+
+
+class TestBfsTreePrimitive:
+    def test_parents_and_depths(self):
+        g = connected_erdos_renyi_graph(30, 0.12, seed=1)
+        parent, depth, _ = bfs_tree(g, 0)
+        dist = ref_distances(g, 0)
+        assert depth == dist
+        for v, p in parent.items():
+            if p is not None:
+                assert depth[v] == depth[p] + 1
+                assert g.has_edge(p, v)
+
+    def test_unreachable_vertices_unset(self):
+        from repro.graph import Graph
+
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)
+        parent, depth, _ = bfs_tree(g, 0)
+        assert parent[2] is None and depth[2] is None
+
+    def test_superstep_count_is_depth_bound(self):
+        g = path_graph(20)
+        _, _, result = bfs_tree(g, 0)
+        # depth-19 wave plus the drain superstep.
+        assert result.num_supersteps == 21
+
+
+class TestEulerTour:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference(self, seed):
+        t = random_tree(25, seed=seed)
+        succ, result = euler_tour(t)
+        tour = tour_from_successors(
+            succ, (0, t.sorted_neighbors(0)[0])
+        )
+        assert tour == euler_tour_edges(t, 0)
+        assert result.num_supersteps == 2
+
+    def test_is_bppa(self):
+        # Row 8: the only row that is BPPA *and* no more work.
+        t = caterpillar_tree(10, 3)
+        _, result = euler_tour(t)
+        assert result.num_supersteps == 2
+        assert result.bppa.message_factor <= 1.0
+        assert result.bppa.storage_factor <= 2.0
+
+    def test_non_tree_rejected(self):
+        with pytest.raises(NotATreeError):
+            euler_tour(cycle_graph(5))
+
+    def test_tpp_linear(self):
+        small = euler_tour(random_tree(32, seed=3))[1]
+        large = euler_tour(random_tree(128, seed=3))[1]
+        ratio = (
+            large.stats.time_processor_product
+            / small.stats.time_processor_product
+        )
+        assert ratio < 8  # linear-ish: ~4x for 4x the vertices
+
+
+class TestListRanking:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 64, 100])
+    def test_unit_values_give_positions(self, n):
+        g = linked_list_graph(n, seed=n)
+        sums, result = list_ranking(g)
+        assert sorted(sums.values()) == list(range(1, n + 1))
+
+    def test_logarithmic_supersteps(self):
+        g = linked_list_graph(256, seed=1)
+        _, result = list_ranking(g)
+        # 2 supersteps per jump round, O(log n) rounds.
+        assert result.num_supersteps <= 2 * (math.log2(256) + 2)
+
+    def test_custom_values(self):
+        g = linked_list_graph(10)  # ids 0..9 in order, head 0
+        sums, _ = list_ranking(g, values=lambda v: v)
+        # sum(v) = 0 + 1 + ... + v for the identity-ordered list.
+        for v in range(10):
+            assert sums[v] == v * (v + 1) // 2
+
+    def test_message_total_n_log_n(self):
+        g = linked_list_graph(128, seed=2)
+        _, result = list_ranking(g)
+        n = 128
+        # Each element sends O(log i) queries plus replies.
+        assert result.stats.total_messages <= 6 * n * math.log2(n)
+        assert result.stats.total_messages >= n  # nontrivial
+
+    def test_bppa_one_message_per_round(self):
+        g = linked_list_graph(64, seed=3)
+        _, result = list_ranking(g)
+        # Each element sends/receives at most one query and one reply
+        # per round; degree in the list graph is 1.
+        assert result.bppa.message_factor <= 1.0
+
+    def test_branching_input_rejected(self):
+        from repro.graph import Graph
+
+        g = Graph(directed=True)
+        g.add_edge(2, 0)
+        g.add_edge(2, 1)  # two predecessors
+        with pytest.raises(ValueError):
+            list_ranking(g)
+
+
+class TestTreeTraversal:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_euler_dfs(self, seed):
+        t = random_tree(30, seed=seed)
+        result = tree_traversal(t, 0)
+        pre, post = result.output
+        pre_ref, post_ref = euler_orders(t, 0)
+        assert pre == pre_ref
+        assert post == post_ref
+
+    def test_binary_tree(self):
+        t = balanced_binary_tree(3)
+        pre, post = tree_traversal(t, 0).output
+        assert pre[0] == 0
+        assert post[0] == t.num_vertices - 1
+        assert sorted(pre.values()) == list(range(t.num_vertices))
+        assert sorted(post.values()) == list(range(t.num_vertices))
+
+    def test_path_orders(self):
+        t = path_graph(6)
+        pre, post = tree_traversal(t, 0).output
+        assert pre == {v: v for v in range(6)}
+        assert post == {v: 5 - v for v in range(6)}
+
+    def test_single_vertex(self):
+        t = random_tree(1)
+        pre, post = tree_traversal(t, 0).output
+        assert pre == {0: 0} and post == {0: 0}
+
+    def test_star_from_center(self):
+        t = star_graph(5)  # 5 vertices: center 0 plus 4 leaves
+        pre, post = tree_traversal(t, 0).output
+        assert pre[0] == 0
+        assert post[0] == 4
+
+    def test_pipeline_accounting(self):
+        t = random_tree(40, seed=7)
+        result = tree_traversal(t, 0)
+        assert len(result.stages) == 5
+        assert result.num_supersteps == sum(
+            s.num_supersteps for s in result.stages
+        )
+        assert result.time_processor_product > 0
+        assert result.bppa is not None
