@@ -1,0 +1,129 @@
+"""Recovery-overhead benchmark: checkpoint interval vs. fault cost.
+
+The classic fault-tolerance trade-off (Pregel §4.2, and the
+checkpointing dimension of Ammar & Özsu's experimental survey): a
+short checkpoint interval pays write overhead every few supersteps
+but loses little work per crash; a long interval writes rarely but
+replays many supersteps on rollback.  This bench sweeps the interval
+for three workloads (PageRank, SSSP, WCC) under a fixed crash plan
+and reports, per cell,
+
+* ``checkpoint_cost`` — the cumulative write charge,
+* ``replay + backoff`` — the rollback bill,
+* ``recovery_overhead`` — everything over the fault-free BSP time,
+
+and asserts the determinism oracle on every run.  Run with::
+
+    pytest benchmarks/bench_recovery.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SingleSourceShortestPaths
+from repro.algorithms.wcc import WeaklyConnectedComponents
+from repro.bsp.engine import run_program
+from repro.bsp.faults import crash_plan
+from repro.graph.generators import erdos_renyi_graph
+
+INTERVALS = [1, 2, 5, 10]
+CRASH_SUPERSTEP = 11
+NUM_WORKERS = 4
+
+_collected = []
+
+
+def _workload(name):
+    if name == "pagerank":
+        graph = erdos_renyi_graph(150, 0.04, seed=7)
+        return graph, lambda: PageRank(num_supersteps=25)
+    if name == "sssp":
+        # A long path keeps SSSP busy past the crash superstep.
+        graph = erdos_renyi_graph(400, 0.006, seed=11)
+        return graph, lambda: SingleSourceShortestPaths(0)
+    if name == "wcc":
+        graph = erdos_renyi_graph(300, 0.005, seed=13, directed=True)
+        return graph, lambda: WeaklyConnectedComponents()
+    raise ValueError(name)
+
+
+def _sweep(name):
+    graph, make_program = _workload(name)
+    baseline = run_program(
+        graph, make_program(), num_workers=NUM_WORKERS
+    )
+    crash = min(
+        CRASH_SUPERSTEP, max(1, baseline.num_supersteps - 2)
+    )
+    rows = []
+    for interval in INTERVALS:
+        result = run_program(
+            graph,
+            make_program(),
+            num_workers=NUM_WORKERS,
+            checkpoint_interval=interval,
+            fault_plan=crash_plan(superstep=crash, worker=1, seed=3),
+        )
+        assert result.values == baseline.values, (
+            f"{name}: recovered values diverged at interval {interval}"
+        )
+        stats = result.stats
+        rows.append(
+            {
+                "workload": name,
+                "interval": interval,
+                "crash_superstep": crash,
+                "supersteps": stats.num_supersteps,
+                "checkpoints": stats.checkpoints_written,
+                "checkpoint_cost": stats.checkpoint_cost,
+                "replayed": stats.supersteps_replayed,
+                "replay_cost": stats.replay_cost + stats.backoff_cost,
+                "fault_free_time": stats.bsp_time,
+                "total_time": stats.total_time,
+                "overhead": stats.recovery_overhead,
+            }
+        )
+    _collected.extend(rows)
+    return rows
+
+
+@pytest.mark.parametrize("name", ["pagerank", "sssp", "wcc"])
+def test_recovery_overhead_sweep(benchmark, name):
+    rows = benchmark.pedantic(
+        lambda: _sweep(name), rounds=1, iterations=1
+    )
+    # Sanity on the trade-off: every faulted run pays some overhead,
+    # and a longer interval never writes more checkpoints.
+    assert all(row["overhead"] > 0 for row in rows)
+    checkpoints = [row["checkpoints"] for row in rows]
+    assert checkpoints == sorted(checkpoints, reverse=True)
+    # Somewhere in the sweep the crash lands off a checkpoint
+    # boundary and forces an actual replay.
+    assert sum(row["replayed"] for row in rows) > 0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report_sweep():
+    yield
+    if not _collected:
+        return
+    header = (
+        f"{'workload':<10} {'k':>3} {'ckpts':>5} {'ckpt_cost':>10} "
+        f"{'replayed':>8} {'replay':>9} {'overhead':>9} "
+        f"{'total_time':>11}"
+    )
+    print(
+        "\nrecovery overhead vs. checkpoint interval k "
+        f"(one injected worker crash, {NUM_WORKERS} workers)"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in _collected:
+        print(
+            f"{row['workload']:<10} {row['interval']:>3} "
+            f"{row['checkpoints']:>5} {row['checkpoint_cost']:>10.1f} "
+            f"{row['replayed']:>8} {row['replay_cost']:>9.1f} "
+            f"{row['overhead']:>9.3f} {row['total_time']:>11.1f}"
+        )

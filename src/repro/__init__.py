@@ -29,4 +29,29 @@ Quickstart::
     print(result.stats.time_processor_product)
 """
 
+from repro.errors import (
+    BSPError,
+    BenchmarkError,
+    CheckpointError,
+    GraphError,
+    MessageToUnknownVertexError,
+    RecoveryExhaustedError,
+    ReproError,
+    SuperstepLimitExceeded,
+    WorkerCrashError,
+)
+
 __version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "BSPError",
+    "BenchmarkError",
+    "SuperstepLimitExceeded",
+    "MessageToUnknownVertexError",
+    "WorkerCrashError",
+    "CheckpointError",
+    "RecoveryExhaustedError",
+    "__version__",
+]

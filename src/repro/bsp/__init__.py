@@ -17,7 +17,24 @@ from repro.bsp.combiner import (
     MinCombiner,
     SumCombiner,
 )
+from repro.bsp.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    cow_copy,
+    take_checkpoint,
+    restore_checkpoint,
+)
 from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.faults import (
+    CrashFault,
+    DeliveryFaults,
+    FaultInjector,
+    FaultPlan,
+    chaos_plan,
+    crash_plan,
+    drop_plan,
+    duplicate_plan,
+)
 from repro.bsp.async_engine import AsyncEngine, AsyncResult, run_async
 from repro.bsp.block import (
     BlockContext,
@@ -40,6 +57,19 @@ from repro.bsp.vertex import VertexState
 from repro.bsp.worker import Worker
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "cow_copy",
+    "take_checkpoint",
+    "restore_checkpoint",
+    "CrashFault",
+    "DeliveryFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "chaos_plan",
+    "crash_plan",
+    "drop_plan",
+    "duplicate_plan",
     "Aggregator",
     "AndAggregator",
     "CountAggregator",

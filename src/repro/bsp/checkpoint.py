@@ -1,0 +1,293 @@
+"""Superstep-boundary checkpointing for the simulated Pregel engine.
+
+Pregel and Giraph owe their practicality to checkpoint/rollback fault
+tolerance: every ``k`` supersteps each worker persists its partition —
+vertex values, halted flags, the incoming message queue, aggregator
+state — and a worker failure rolls the whole computation back to the
+last checkpoint (Malewicz et al. §4.2; see also Ammar & Özsu's
+experimental survey, which treats checkpoint overhead as a first-class
+cost dimension).  This module is the simulated analogue.
+
+A :class:`Checkpoint` captures everything :class:`~repro.bsp.engine.
+PregelEngine` needs to re-execute deterministically from a superstep
+boundary:
+
+* per-vertex value / out-edges / in-edges / halted flag (topology is
+  part of the snapshot because programs may mutate it);
+* the vertex-to-worker assignment (mutations can add vertices);
+* the undelivered inbox (messages sent in ``s-1``, visible in ``s``);
+* finalized aggregator values and the aggregate-history length;
+* the engine RNG state (``random.Random.getstate``), so replayed
+  supersteps draw the same randomness;
+* the BPPA tracker observation, so replay does not double-count;
+* the wake-all flag set by ``master.activate_all()``.
+
+Snapshots use **copy-on-write semantics** via :func:`cow_copy`:
+immutable values (ints, floats, strings, tuples of immutables, …) are
+shared between the live state and the checkpoint, and only mutable
+containers are copied.  For the common algorithms — whose vertex
+values are numbers or small dicts — a checkpoint therefore costs far
+less than a deep copy, while mutation of live state after the snapshot
+can never corrupt the checkpoint.
+
+The *write cost* charged to the run is proportional to the snapshot
+size in state atoms (:func:`repro.metrics.bppa.state_atoms`), scaled
+by the cost model's ``c_ckpt`` parameter — see
+:meth:`repro.metrics.cost_model.BSPCostModel.checkpoint_cost`.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import CheckpointError
+from repro.metrics.bppa import BppaObservation, state_atoms
+
+#: Types shared (not copied) by :func:`cow_copy`.
+_IMMUTABLE_TYPES = (
+    type(None),
+    bool,
+    int,
+    float,
+    complex,
+    str,
+    bytes,
+    frozenset,
+)
+
+
+def cow_copy(value: Any) -> Any:
+    """Structural-sharing copy: copy mutable containers, share leaves.
+
+    Returns ``value`` itself when it is (recursively) immutable — an
+    int, float, string, or a tuple built from immutables — and a
+    recursive copy otherwise.  Unknown mutable objects fall back to
+    ``copy.deepcopy``.  This is the copy-on-write discipline of the
+    checkpoint layer: the snapshot and the live engine state share
+    every immutable leaf, so snapshots are cheap and later in-place
+    mutation of live containers cannot reach into the snapshot.
+    """
+    if isinstance(value, _IMMUTABLE_TYPES):
+        return value
+    if isinstance(value, tuple):
+        copied = [cow_copy(item) for item in value]
+        if all(c is o for c, o in zip(copied, value)):
+            return value  # tuple of immutables: share it
+        return tuple(copied)
+    if isinstance(value, dict):
+        return {cow_copy(k): cow_copy(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [cow_copy(item) for item in value]
+    if isinstance(value, set):
+        return {cow_copy(item) for item in value}
+    return copy.deepcopy(value)
+
+
+@dataclass
+class VertexSnapshot:
+    """One vertex's state inside a checkpoint.
+
+    ``in_edges`` is ``None`` when the live state aliases ``out_edges``
+    (undirected graphs); the restore re-creates the aliasing so the
+    restored state has the same sharing structure as the original.
+    """
+
+    vertex_id: Hashable
+    value: Any
+    out_edges: Dict[Hashable, float]
+    in_edges: Optional[Dict[Hashable, float]]
+    halted: bool
+
+
+@dataclass
+class Checkpoint:
+    """A full engine snapshot taken at the *start* of ``superstep``."""
+
+    superstep: int
+    vertices: List[VertexSnapshot]
+    owner: Dict[Hashable, int]
+    worker_vertex_ids: List[List[Hashable]]
+    inbox: Dict[Hashable, List[Any]]
+    agg_finalized: Dict[str, Any]
+    history_len: int
+    rng_state: Tuple
+    wake_all: bool
+    bppa_observation: Optional[BppaObservation] = None
+    #: Snapshot size in state atoms — drives the write-cost charge.
+    size: int = 0
+
+    def __post_init__(self):
+        if self.size == 0:
+            self.size = self._measure()
+
+    def _measure(self) -> int:
+        atoms = 0
+        for snap in self.vertices:
+            atoms += 1  # the id + halted flag, order unity
+            atoms += state_atoms(snap.value)
+            atoms += len(snap.out_edges)
+            if snap.in_edges is not None:
+                atoms += len(snap.in_edges)
+        for msgs in self.inbox.values():
+            atoms += sum(state_atoms(m) or 1 for m in msgs)
+        atoms += state_atoms(self.agg_finalized)
+        return atoms
+
+
+class CheckpointStore:
+    """Holds the most recent checkpoint and write-side accounting.
+
+    Only the latest checkpoint is retained (rollback always targets
+    it, exactly as in Pregel, which keeps one generation per worker);
+    ``written`` counts every checkpoint taken over the run and
+    ``total_size`` their cumulative size in atoms.
+    """
+
+    def __init__(self):
+        self.latest: Optional[Checkpoint] = None
+        self.written: int = 0
+        self.total_size: int = 0
+
+    def save(self, checkpoint: Checkpoint) -> Checkpoint:
+        self.latest = checkpoint
+        self.written += 1
+        self.total_size += checkpoint.size
+        return checkpoint
+
+    def require_latest(self) -> Checkpoint:
+        if self.latest is None:
+            raise CheckpointError(
+                "no checkpoint available to restore from"
+            )
+        return self.latest
+
+
+def take_checkpoint(engine, superstep: int) -> Checkpoint:
+    """Snapshot ``engine`` at the start of ``superstep``.
+
+    Must be called at a superstep boundary: the outbox is empty (all
+    traffic of the previous superstep was delivered into the inbox)
+    and no ``compute()`` call is in flight.
+    """
+    vertices = []
+    for vid, state in engine._states.items():
+        aliased = state.in_edges is state.out_edges
+        vertices.append(
+            VertexSnapshot(
+                vertex_id=vid,
+                value=cow_copy(state.value),
+                out_edges=dict(state.out_edges),
+                in_edges=None if aliased else dict(state.in_edges),
+                halted=state.halted,
+            )
+        )
+    tracker = engine._tracker
+    observation = (
+        dataclasses.replace(tracker.observation)
+        if tracker is not None
+        else None
+    )
+    return Checkpoint(
+        superstep=superstep,
+        vertices=vertices,
+        owner=dict(engine._owner),
+        worker_vertex_ids=[
+            list(w.vertex_ids) for w in engine._workers
+        ],
+        inbox={
+            vid: [cow_copy(m) for m in msgs]
+            for vid, msgs in engine._inbox.items()
+        },
+        agg_finalized=cow_copy(engine._agg_finalized),
+        history_len=len(engine._aggregate_history),
+        rng_state=engine.rng.getstate(),
+        wake_all=engine._wake_all,
+        bppa_observation=observation,
+    )
+
+
+def restore_checkpoint(engine, checkpoint: Checkpoint) -> None:
+    """Rewind ``engine`` to ``checkpoint`` (full rollback).
+
+    Everything the snapshot captured is put back — vertex states,
+    ownership, inbox, aggregators, RNG, tracker — so re-execution from
+    ``checkpoint.superstep`` is byte-for-byte identical to the
+    original (crash-free) execution of those supersteps.
+    """
+    from repro.bsp.vertex import VertexState  # local: avoid cycle
+
+    states: Dict[Hashable, VertexState] = {}
+    for snap in checkpoint.vertices:
+        out_edges = dict(snap.out_edges)
+        in_edges = (
+            out_edges
+            if snap.in_edges is None
+            else dict(snap.in_edges)
+        )
+        state = VertexState(
+            snap.vertex_id,
+            value=cow_copy(snap.value),
+            out_edges=out_edges,
+            in_edges=in_edges,
+        )
+        state.halted = snap.halted
+        states[snap.vertex_id] = state
+    engine._states = states
+    engine._owner = dict(checkpoint.owner)
+    for worker, vids in zip(
+        engine._workers, checkpoint.worker_vertex_ids
+    ):
+        worker.vertex_ids = list(vids)
+        worker.reset_counters()
+    engine._inbox = {
+        vid: [cow_copy(m) for m in msgs]
+        for vid, msgs in checkpoint.inbox.items()
+    }
+    engine._outbox = {}
+    engine._agg_finalized = cow_copy(checkpoint.agg_finalized)
+    del engine._aggregate_history[checkpoint.history_len:]
+    engine.rng.setstate(checkpoint.rng_state)
+    engine._wake_all = checkpoint.wake_all
+    if (
+        engine._tracker is not None
+        and checkpoint.bppa_observation is not None
+    ):
+        engine._tracker.observation = dataclasses.replace(
+            checkpoint.bppa_observation
+        )
+
+
+def restore_partition(engine, checkpoint: Checkpoint, worker: int) -> int:
+    """Confined restore: rewind only ``worker``'s vertices.
+
+    Used by confined recovery — the healthy workers keep their live
+    state and only the crashed partition is reloaded from the
+    checkpoint.  Topology must not have changed since the checkpoint
+    (the engine falls back to full rollback otherwise).  Returns the
+    number of vertices restored.
+    """
+    from repro.bsp.vertex import VertexState  # local: avoid cycle
+
+    restored = 0
+    for snap in checkpoint.vertices:
+        if checkpoint.owner[snap.vertex_id] != worker:
+            continue
+        out_edges = dict(snap.out_edges)
+        in_edges = (
+            out_edges
+            if snap.in_edges is None
+            else dict(snap.in_edges)
+        )
+        state = VertexState(
+            snap.vertex_id,
+            value=cow_copy(snap.value),
+            out_edges=out_edges,
+            in_edges=in_edges,
+        )
+        state.halted = snap.halted
+        engine._states[snap.vertex_id] = state
+        restored += 1
+    return restored

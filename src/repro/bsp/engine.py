@@ -18,6 +18,18 @@ superstep records per-worker local work ``w_i`` and message counts
 ``max(w, g·h, L)`` and the run reports the time-processor product
 (§2.1).  An optional BPPA tracker observes per-vertex balance for the
 §2.2 properties.
+
+The engine also models the fault-tolerance story the real systems
+depend on (``docs/fault_tolerance.md``): with ``checkpoint_interval``
+set it snapshots engine state at superstep boundaries
+(:mod:`repro.bsp.checkpoint`), and with a ``fault_plan``
+(:mod:`repro.bsp.faults`) it survives injected worker crashes by
+rolling back to the last checkpoint and replaying — or, with
+``confined_recovery``, by recomputing only the crashed partition from
+logged messages.  Message drop/duplicate/delay faults are masked by
+the simulated reliable-delivery layer, so *any* faulted run that
+completes produces byte-identical values to the fault-free run; only
+the cost accounting (``RunStats.recovery_overhead``) differs.
 """
 
 from __future__ import annotations
@@ -26,12 +38,25 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional
 
+from repro.bsp.checkpoint import (
+    CheckpointStore,
+    restore_checkpoint,
+    restore_partition,
+    take_checkpoint,
+)
 from repro.bsp.combiner import Combiner
 from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.faults import FaultInjector, FaultPlan
 from repro.bsp.program import VertexProgram
 from repro.bsp.vertex import VertexState
 from repro.bsp.worker import Worker
-from repro.errors import SuperstepLimitExceeded
+from repro.errors import (
+    CheckpointError,
+    MessageToUnknownVertexError,
+    RecoveryExhaustedError,
+    SuperstepLimitExceeded,
+    WorkerCrashError,
+)
 from repro.graph.graph import Graph
 from repro.graph.partition import HashPartitioner
 from repro.metrics.bppa import BppaObservation, BppaTracker
@@ -74,7 +99,8 @@ class PregelEngine:
     combiner:
         Optional sender-side message combiner.
     cost_model:
-        BSP parameters ``g`` and ``L`` (default ``g = L = 1``).
+        BSP parameters ``g``, ``L`` and the checkpoint-write
+        bandwidth ``c_ckpt`` (default ``g = L = 1``).
     max_supersteps:
         Hard bound; exceeding it raises
         :class:`~repro.errors.SuperstepLimitExceeded`.
@@ -84,6 +110,24 @@ class PregelEngine:
     seed:
         Seed for ``ctx.random`` so randomized programs are
         reproducible.
+    checkpoint_interval:
+        Snapshot engine state every this many supersteps (plus a
+        baseline at superstep 0).  ``None`` disables periodic
+        checkpoints; a fault plan with crashes still gets the
+        baseline so recovery is possible.
+    fault_plan:
+        A :class:`~repro.bsp.faults.FaultPlan` to inject during the
+        run.  Crashes trigger rollback-and-replay; message faults are
+        masked by reliable delivery and only add cost.
+    max_recovery_attempts:
+        How many times one superstep may crash-and-recover before the
+        run raises :class:`~repro.errors.RecoveryExhaustedError`.
+    confined_recovery:
+        Recompute only the crashed worker's partition from logged
+        messages instead of rolling every worker back (cheaper; falls
+        back to full rollback when topology mutated since the last
+        checkpoint; assumes ``compute`` does not draw from
+        ``ctx.random``).
     """
 
     def __init__(
@@ -97,6 +141,10 @@ class PregelEngine:
         max_supersteps: int = 100_000,
         track_bppa: bool = True,
         seed: int = 0,
+        checkpoint_interval: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_recovery_attempts: int = 3,
+        confined_recovery: bool = False,
     ):
         self._graph = graph
         self._program = program
@@ -128,6 +176,40 @@ class PregelEngine:
         self._agg_current: Dict[str, Any] = {}
         self._agg_finalized: Dict[str, Any] = {}
         self._wake_all = False
+        self._aggregate_history: List[Dict[str, Any]] = []
+
+        # Fault tolerance: checkpointing, injection, recovery.
+        if (
+            checkpoint_interval is not None
+            and checkpoint_interval < 1
+        ):
+            raise CheckpointError(
+                "checkpoint_interval must be >= 1, got "
+                f"{checkpoint_interval}"
+            )
+        if max_recovery_attempts < 1:
+            raise ValueError(
+                "max_recovery_attempts must be >= 1, got "
+                f"{max_recovery_attempts}"
+            )
+        self._checkpoint_interval = checkpoint_interval
+        self._fault_plan = fault_plan
+        self._injector = (
+            FaultInjector(fault_plan, num_workers)
+            if fault_plan is not None
+            else None
+        )
+        self._max_recovery_attempts = max_recovery_attempts
+        self._confined_recovery = confined_recovery
+        self._ckpt_store = CheckpointStore()
+        self._ckpt_costs: Dict[int, float] = {}
+        self._message_log: Dict[int, Dict[Hashable, List[Any]]] = {}
+        self._wake_log: Dict[int, bool] = {}
+        self._mutated_since_checkpoint = False
+        self._replaying = False
+        self._exec_counts: Dict[int, int] = {}
+        self._crash_counts: Dict[int, int] = {}
+        self._run_stats: Optional[RunStats] = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -166,17 +248,25 @@ class PregelEngine:
     def _enqueue(
         self, source: Hashable, target: Hashable, message: Any
     ) -> None:
+        if self._replaying:
+            # Confined replay recomputes state only; every message the
+            # original execution sent was already delivered (and
+            # logged), so re-sends are suppressed.
+            return
+        if target not in self._states:
+            raise MessageToUnknownVertexError(target)
         src_worker = self._owner[source]
         dst_worker = self._owner[target]
         self._outbox.setdefault(target, []).append(
             (src_worker, message)
         )
         self._workers[src_worker].sent_logical += 1
-        self._workers[dst_worker].received_logical += 1
         if src_worker != dst_worker:
             self._workers[src_worker].sent_remote += 1
 
     def _aggregate(self, name: str, value: Any) -> None:
+        if self._replaying:
+            return
         agg = self._aggregators[name]
         current = self._agg_current.get(name, agg.initial())
         self._agg_current[name] = agg.reduce(current, value)
@@ -186,88 +276,40 @@ class PregelEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> PregelResult:
-        """Execute the program to termination and return the result."""
+        """Execute the program to termination and return the result.
+
+        Under fault injection the loop is a supervision loop: a
+        checkpoint may be written before a superstep executes, an
+        injected :class:`WorkerCrashError` rolls the run back to the
+        last checkpoint (or triggers confined recovery) and execution
+        resumes, with all recovery costs accounted in ``RunStats``.
+        """
         stats = RunStats(
             num_workers=self._num_workers, cost_model=self._cost_model
         )
-        aggregate_history: List[Dict[str, Any]] = []
-        program = self._program
-        ctx = self._ctx
+        self._run_stats = stats
+        self._aggregate_history = []
+        injector = self._injector
         tracker = self._tracker
 
-        for superstep in range(self._max_supersteps):
-            for w in self._workers:
-                w.reset_counters()
-            self._outbox = {}
-            self._agg_current = {
-                name: agg.initial()
-                for name, agg in self._aggregators.items()
-            }
-            ctx._begin_superstep(superstep, self._agg_finalized)
-
-            active_count = 0
-            wake_all = self._wake_all or superstep == 0
-            self._wake_all = False
-            for worker in self._workers:
-                for vid in worker.vertex_ids:
-                    state = self._states.get(vid)
-                    if state is None:
-                        continue
-                    messages = self._inbox.pop(vid, None)
-                    if messages:
-                        state.halted = False
-                    elif state.halted and not wake_all:
-                        continue
-                    elif wake_all:
-                        state.halted = False
-                    messages = messages or []
-                    active_count += 1
-                    ctx._begin_vertex(state)
-                    program.compute(state, messages, ctx)
-                    ops = 1 + len(messages) + ctx._sent + ctx._charged
-                    worker.work += ops
-                    if tracker is not None:
-                        tracker.record_vertex(
-                            vid,
-                            ctx._sent,
-                            len(messages),
-                            ops,
-                            program.state_size(state),
-                        )
-            if tracker is not None:
-                tracker.record_superstep()
-
-            # Aggregators reduced this superstep become visible next.
-            self._agg_finalized = dict(self._agg_current)
-            aggregate_history.append(self._agg_finalized)
-
-            pending = sum(len(v) for v in self._outbox.values())
-            master = MasterContext(
-                superstep=superstep,
-                aggregates=self._agg_finalized,
-                num_active=active_count,
-                num_vertices=len(self._states),
-                pending_messages=pending,
-            )
-            program.master_compute(master)
-
-            self._apply_mutations()
-            delivered = self._deliver()
-            stats.supersteps.append(
-                self._superstep_stats(superstep, active_count)
-            )
-
-            if master._halt:
+        superstep = 0
+        while True:
+            if superstep >= self._max_supersteps:
+                raise SuperstepLimitExceeded(
+                    self._max_supersteps, self._program.name
+                )
+            if self._should_checkpoint(superstep):
+                self._write_checkpoint(superstep, stats)
+            try:
+                if injector is not None:
+                    injector.begin_superstep(superstep)
+                done = self._execute_superstep(superstep, stats)
+            except WorkerCrashError as crash:
+                superstep = self._recover(crash, superstep, stats)
+                continue
+            superstep += 1
+            if done:
                 break
-            if master._activate_all:
-                self._wake_all = True
-            if delivered == 0 and not self._wake_all:
-                if all(s.halted for s in self._states.values()):
-                    break
-        else:
-            raise SuperstepLimitExceeded(
-                self._max_supersteps, program.name
-            )
 
         if tracker is not None:
             tracker.observation.num_supersteps = stats.num_supersteps
@@ -275,8 +317,243 @@ class PregelEngine:
             values={v: s.value for v, s in self._states.items()},
             stats=stats,
             bppa=tracker.observation if tracker else None,
-            aggregate_history=aggregate_history,
+            aggregate_history=self._aggregate_history,
         )
+
+    def _execute_superstep(
+        self, superstep: int, stats: RunStats
+    ) -> bool:
+        """Run one superstep end to end; return True when the run is
+        finished (master halt, or quiescence)."""
+        program = self._program
+        ctx = self._ctx
+        tracker = self._tracker
+        self._exec_counts[superstep] = (
+            self._exec_counts.get(superstep, 0) + 1
+        )
+
+        for w in self._workers:
+            w.reset_counters()
+        self._outbox = {}
+        self._agg_current = {
+            name: agg.initial()
+            for name, agg in self._aggregators.items()
+        }
+        ctx._begin_superstep(superstep, self._agg_finalized)
+
+        active_count = 0
+        wake_all = self._wake_all or superstep == 0
+        self._wake_all = False
+        if self._confined_recovery:
+            self._wake_log[superstep] = wake_all
+        for worker in self._workers:
+            for vid in worker.vertex_ids:
+                state = self._states.get(vid)
+                if state is None:
+                    continue
+                messages = self._inbox.pop(vid, None)
+                if messages:
+                    state.halted = False
+                elif state.halted and not wake_all:
+                    continue
+                elif wake_all:
+                    state.halted = False
+                messages = messages or []
+                active_count += 1
+                ctx._begin_vertex(state)
+                program.compute(state, messages, ctx)
+                ops = 1 + len(messages) + ctx._sent + ctx._charged
+                worker.work += ops
+                if tracker is not None:
+                    tracker.record_vertex(
+                        vid,
+                        ctx._sent,
+                        len(messages),
+                        ops,
+                        program.state_size(state),
+                    )
+        if tracker is not None:
+            tracker.record_superstep()
+
+        # Aggregators reduced this superstep become visible next.
+        self._agg_finalized = dict(self._agg_current)
+        self._aggregate_history.append(self._agg_finalized)
+
+        pending = sum(len(v) for v in self._outbox.values())
+        master = MasterContext(
+            superstep=superstep,
+            aggregates=self._agg_finalized,
+            num_active=active_count,
+            num_vertices=len(self._states),
+            pending_messages=pending,
+        )
+        program.master_compute(master)
+
+        self._apply_mutations()
+        delivered = self._deliver(superstep)
+        stats.supersteps.append(
+            self._superstep_stats(superstep, active_count)
+        )
+
+        if master._halt:
+            return True
+        if master._activate_all:
+            self._wake_all = True
+        if delivered == 0 and not self._wake_all:
+            if all(s.halted for s in self._states.values()):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Checkpointing and recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def _checkpointing_enabled(self) -> bool:
+        # Periodic checkpoints when an interval is set; a crash-bearing
+        # fault plan forces at least the superstep-0 baseline so the
+        # run can always recover.  Message-only fault plans need no
+        # checkpoints (reliable delivery masks them).
+        return self._checkpoint_interval is not None or (
+            self._fault_plan is not None
+            and self._fault_plan.has_crashes
+        )
+
+    def _should_checkpoint(self, superstep: int) -> bool:
+        if not self._checkpointing_enabled:
+            return False
+        latest = self._ckpt_store.latest
+        if latest is None:
+            return True  # the superstep-0 baseline
+        if self._checkpoint_interval is None:
+            return False
+        return (
+            superstep - latest.superstep >= self._checkpoint_interval
+        )
+
+    def _write_checkpoint(
+        self, superstep: int, stats: RunStats
+    ) -> None:
+        ckpt = self._ckpt_store.save(take_checkpoint(self, superstep))
+        cost = self._cost_model.checkpoint_cost(ckpt.size)
+        stats.checkpoints_written += 1
+        stats.checkpoint_cost += cost
+        self._ckpt_costs[superstep] = cost
+        self._mutated_since_checkpoint = False
+        if self._confined_recovery:
+            # Logged messages before the checkpoint can never be
+            # replayed again; reclaim them.
+            self._message_log = {
+                t: log
+                for t, log in self._message_log.items()
+                if t >= superstep
+            }
+            self._wake_log = {
+                t: wake
+                for t, wake in self._wake_log.items()
+                if t >= superstep
+            }
+
+    def _recover(
+        self, crash: WorkerCrashError, superstep: int, stats: RunStats
+    ) -> int:
+        """Handle an injected crash; return the superstep to resume at.
+
+        Raises :class:`RecoveryExhaustedError` when the same superstep
+        has crashed more than ``max_recovery_attempts`` times or no
+        checkpoint exists to restore from.
+        """
+        attempts = self._crash_counts.get(superstep, 0) + 1
+        self._crash_counts[superstep] = attempts
+        if attempts > self._max_recovery_attempts:
+            raise RecoveryExhaustedError(superstep, attempts) from crash
+        ckpt = self._ckpt_store.latest
+        if ckpt is None:
+            raise RecoveryExhaustedError(superstep, attempts) from crash
+
+        stats.recovery_attempts += 1
+        # Exponential backoff before the restart: the k-th retry of a
+        # superstep waits 2^(k-1) sync periods.
+        stats.backoff_cost += self._cost_model.L * (
+            2 ** (attempts - 1)
+        )
+
+        if self._confined_recovery and not self._mutated_since_checkpoint:
+            self._confined_replay(crash, superstep, stats, ckpt)
+            return superstep
+
+        # Full rollback: discard the supersteps after the checkpoint
+        # (their charge becomes replay cost — they will be re-executed
+        # identically) and restore the snapshot.
+        discarded = stats.supersteps[ckpt.superstep:]
+        for entry in discarded:
+            stats.replay_cost += entry.cost(self._cost_model)
+        stats.supersteps_replayed += len(discarded)
+        del stats.supersteps[ckpt.superstep:]
+        restore_checkpoint(self, ckpt)
+        return ckpt.superstep
+
+    def _confined_replay(
+        self,
+        crash: WorkerCrashError,
+        superstep: int,
+        stats: RunStats,
+        ckpt,
+    ) -> None:
+        """Rebuild only the crashed worker's partition.
+
+        The healthy workers keep their live state; the crashed
+        partition is restored from the checkpoint and its vertices'
+        ``compute`` calls are replayed against the logged per-superstep
+        inboxes, with outgoing messages and aggregator contributions
+        suppressed (their effects are already in the live state of the
+        other workers).  Replay work is charged as recovery cost but
+        does not touch the committed superstep stats.
+        """
+        worker_idx = crash.worker % self._num_workers
+        restore_partition(self, ckpt, worker_idx)
+        worker = self._workers[worker_idx]
+        program = self._program
+        ctx = ComputeContext(self)
+        replay_work = 0.0
+        self._replaying = True
+        try:
+            for t in range(ckpt.superstep, superstep):
+                prev_aggs = (
+                    self._aggregate_history[t - 1] if t >= 1 else {}
+                )
+                ctx._begin_superstep(t, prev_aggs)
+                wake_all = self._wake_log.get(t, t == 0)
+                log_t = self._message_log.get(t, {})
+                for vid in worker.vertex_ids:
+                    state = self._states.get(vid)
+                    if state is None:
+                        continue
+                    messages = log_t.get(vid)
+                    if messages:
+                        state.halted = False
+                    elif state.halted and not wake_all:
+                        continue
+                    elif wake_all:
+                        state.halted = False
+                    messages = list(messages) if messages else []
+                    ctx._begin_vertex(state)
+                    program.compute(state, messages, ctx)
+                    replay_work += (
+                        1 + len(messages) + ctx._sent + ctx._charged
+                    )
+        finally:
+            self._replaying = False
+        # The crashed worker lost its incoming queue for the current
+        # superstep; restore it from the delivery log.
+        log_now = self._message_log.get(superstep, {})
+        for vid in worker.vertex_ids:
+            if vid in log_now:
+                self._inbox[vid] = list(log_now[vid])
+            else:
+                self._inbox.pop(vid, None)
+        stats.replay_cost += replay_work
+        stats.supersteps_replayed += superstep - ckpt.superstep
 
     # ------------------------------------------------------------------
     # Superstep boundary
@@ -295,12 +572,15 @@ class PregelEngine:
             received_network=[w.received_network for w in ws],
             active_vertices=active,
             sent_remote=[w.sent_remote for w in ws],
+            checkpoint_cost=self._ckpt_costs.get(superstep, 0.0),
+            executions=self._exec_counts.get(superstep, 1),
         )
 
     def _apply_mutations(self) -> None:
         log = self._ctx._mutations
         if log.is_empty():
             return
+        self._mutated_since_checkpoint = True
         directed = self._graph.directed
         for u, v in log.remove_edges:
             src = self._states.get(u)
@@ -323,7 +603,9 @@ class PregelEngine:
                     other = self._states.get(dst)
                     if other is not None:
                         other.in_edges.pop(vid, None)
-            self._outbox.pop(vid, None)
+            # Pending outbox messages for vid stay put: _deliver sees
+            # the missing destination, drops them and reverses the
+            # senders' charges so the logical books balance.
             self._inbox.pop(vid, None)
         for vid, value in log.add_vertices:
             if vid in self._states:
@@ -346,20 +628,38 @@ class PregelEngine:
                     dst.in_edges[u] = weight
         log.clear()
 
-    def _deliver(self) -> int:
+    def _deliver(self, superstep: int) -> int:
         """Move the outbox into next superstep's inbox.
 
-        Applies the combiner per (destination, sending worker) and
-        accounts network traffic.  Returns the number of logical
-        messages delivered.
+        Applies the combiner per (destination, sending worker),
+        accounts network traffic, charges ``received_logical`` at
+        delivery time (so send/receive totals balance even when a
+        mutation removed the destination — the sender's charges are
+        reversed for such dropped messages), and runs the injected
+        network faults through the reliable-delivery layer.  Returns
+        the number of logical messages delivered.
         """
         delivered = 0
         combiner = self._combiner
         inbox = self._inbox
+        injector = self._injector
+        log_deliveries = self._confined_recovery
+        log_entry: Dict[Hashable, List[Any]] = {}
+        retransmitted = duplicated = delayed = 0
         for target, entries in self._outbox.items():
             if target not in self._states:
-                continue  # destination was removed by a mutation
+                # Destination removed by a mutation this superstep:
+                # the messages are dropped, so reverse the senders'
+                # charges to keep the logical books balanced.
+                dst_idx = self._owner.get(target)
+                for src_worker, _ in entries:
+                    w = self._workers[src_worker]
+                    w.sent_logical -= 1
+                    if dst_idx is None or src_worker != dst_idx:
+                        w.sent_remote -= 1
+                continue
             dst_worker = self._workers[self._owner[target]]
+            dst_worker.received_logical += len(entries)
             if combiner is None:
                 msgs = [m for _, m in entries]
                 for src_worker, _ in entries:
@@ -378,8 +678,23 @@ class PregelEngine:
                 for src_worker in groups:
                     self._workers[src_worker].sent_network += 1
                 dst_worker.received_network += len(groups)
+            if injector is not None:
+                faults = injector.network_faults(len(msgs))
+                retransmitted += faults.retransmitted
+                duplicated += faults.duplicated
+                delayed += faults.delayed
             inbox.setdefault(target, []).extend(msgs)
+            if log_deliveries:
+                log_entry[target] = list(inbox[target])
             delivered += len(msgs)
+        if log_deliveries:
+            self._message_log[superstep + 1] = log_entry
+        if injector is not None:
+            stats = self._run_stats
+            stats.retransmitted_messages += retransmitted
+            stats.duplicate_messages += duplicated
+            if delayed:
+                stats.delay_stalls += 1
         self._outbox = {}
         return delivered
 
@@ -387,5 +702,12 @@ class PregelEngine:
 def run_program(
     graph: Graph, program: VertexProgram, **engine_kwargs
 ) -> PregelResult:
-    """Convenience wrapper: build an engine and run ``program``."""
+    """Convenience wrapper: build an engine and run ``program``.
+
+    All :class:`PregelEngine` keyword arguments pass through —
+    including the fault-tolerance surface::
+
+        run_program(g, PageRank(), checkpoint_interval=5,
+                    fault_plan=crash_plan(superstep=7))
+    """
     return PregelEngine(graph, program, **engine_kwargs).run()

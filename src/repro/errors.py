@@ -85,6 +85,49 @@ class MutationConflictError(BSPError, RuntimeError):
     """Conflicting topology mutations were requested in one superstep."""
 
 
+class WorkerCrashError(BSPError, RuntimeError):
+    """A (simulated) worker failed at a superstep barrier.
+
+    Raised by the fault injector when a :class:`~repro.bsp.faults.
+    CrashFault` fires.  The engine catches it, rolls back to the last
+    checkpoint and replays; it escapes to the caller only when no
+    recovery machinery is configured.
+    """
+
+    def __init__(self, worker, superstep):
+        super().__init__(
+            f"worker {worker} crashed at superstep {superstep}"
+        )
+        self.worker = worker
+        self.superstep = superstep
+
+
+class CheckpointError(BSPError, RuntimeError):
+    """Checkpointing was misconfigured or a restore was impossible.
+
+    Raised for a non-positive ``checkpoint_interval`` and for a
+    restore attempted when no checkpoint has been written.
+    """
+
+
+class RecoveryExhaustedError(BSPError, RuntimeError):
+    """Recovery retries were exhausted without completing the run.
+
+    A run under fault injection retries each crashed superstep up to
+    ``max_recovery_attempts`` times (with exponential-backoff cost
+    accounting); a fault plan that keeps crashing past the budget
+    raises this instead of looping forever.
+    """
+
+    def __init__(self, superstep, attempts):
+        super().__init__(
+            f"recovery exhausted after {attempts} attempts at "
+            f"superstep {superstep}"
+        )
+        self.superstep = superstep
+        self.attempts = attempts
+
+
 class BenchmarkError(ReproError):
     """Base class for errors raised by the benchmark core."""
 

@@ -34,20 +34,40 @@ class BSPCostModel:
         normalized to instruction time.
     L:
         Synchronization periodicity: the minimum charge per superstep.
+    c_ckpt:
+        Checkpoint-write bandwidth: persisting one state atom of a
+        snapshot costs ``c_ckpt`` time units.  Only used when the
+        engine checkpoints (fault tolerance); the default models a
+        local disk an order of magnitude slower per item than compute.
     """
 
     g: float = 1.0
     L: float = 1.0
+    c_ckpt: float = 0.1
 
     def __post_init__(self):
         if self.g <= 0:
             raise ValueError(f"g must be positive, got {self.g}")
         if self.L <= 0:
             raise ValueError(f"L must be positive, got {self.L}")
+        if self.c_ckpt < 0:
+            raise ValueError(
+                f"c_ckpt must be non-negative, got {self.c_ckpt}"
+            )
 
     def superstep_cost(self, w: float, h: float) -> float:
         """The charge ``max(w, g*h, L)`` for one superstep."""
         return max(w, self.g * h, self.L)
+
+    def checkpoint_cost(self, size: int) -> float:
+        """The charge for writing a checkpoint of ``size`` atoms.
+
+        Checkpoint writes happen at the barrier, serialized with the
+        superstep, so the charge adds to the run's total time (it is
+        the overhead term the fault-tolerance literature trades
+        against recovery time when picking the interval).
+        """
+        return self.c_ckpt * size
 
     def superstep_cost_from_profiles(
         self,

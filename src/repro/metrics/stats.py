@@ -37,6 +37,12 @@ class SuperstepStats:
     #: Messages whose destination lives on a different worker —
     #: the traffic a locality-aware partitioner can reduce.
     sent_remote: List[int] = field(default_factory=list)
+    #: Charge for the checkpoint written at this superstep's start
+    #: (0.0 when none was written).
+    checkpoint_cost: float = 0.0
+    #: How many times this superstep ran, counting re-executions
+    #: after a rollback (1 = never replayed).
+    executions: int = 1
 
     @property
     def num_workers(self) -> int:
@@ -93,11 +99,42 @@ class SuperstepStats:
 
 @dataclass
 class RunStats:
-    """Aggregated statistics of one vertex-program run."""
+    """Aggregated statistics of one vertex-program run.
+
+    The fault-tolerance counters are zero for a fault-free,
+    checkpoint-free run, in which case ``recovery_overhead`` is 0.0
+    and ``total_time`` equals ``bsp_time`` — existing cost analyses
+    are unchanged.  Under checkpointing and fault injection,
+    ``bsp_time`` remains the charge of the *committed* supersteps
+    (the fault-free equivalent work) and ``recovery_cost`` collects
+    everything paid on top: checkpoint writes, replayed supersteps,
+    restart backoff, retransmissions, dedup traffic and barrier
+    stalls.
+    """
 
     num_workers: int
     cost_model: BSPCostModel = field(default_factory=BSPCostModel)
     supersteps: List[SuperstepStats] = field(default_factory=list)
+
+    # -- fault-tolerance accounting (engine-maintained) ----------------
+    #: Checkpoints written over the run.
+    checkpoints_written: int = 0
+    #: Total charge of those writes (``c_ckpt`` x snapshot atoms).
+    checkpoint_cost: float = 0.0
+    #: Supersteps re-executed (or replayed confined) after rollbacks.
+    supersteps_replayed: int = 0
+    #: BSP charge of the work that was rolled back and redone.
+    replay_cost: float = 0.0
+    #: Number of rollback/recovery events.
+    recovery_attempts: int = 0
+    #: Exponential-backoff charge accumulated across restarts.
+    backoff_cost: float = 0.0
+    #: Network messages retransmitted after simulated packet loss.
+    retransmitted_messages: int = 0
+    #: Duplicate network messages delivered and discarded.
+    duplicate_messages: int = 0
+    #: Supersteps whose barrier stalled waiting for a late packet.
+    delay_stalls: int = 0
 
     @property
     def num_supersteps(self) -> int:
@@ -137,6 +174,48 @@ class RunStats:
         """Worst per-superstep work imbalance over the run."""
         return max((s.imbalance() for s in self.supersteps), default=1.0)
 
+    # -- fault-tolerance derived quantities ----------------------------
+
+    @property
+    def recovery_cost(self) -> float:
+        """Everything paid beyond the fault-free BSP time.
+
+        Checkpoint writes + replayed-superstep charges + restart
+        backoff + ``g`` per retransmitted/duplicate network message +
+        ``L`` per stalled barrier.
+        """
+        model = self.cost_model
+        return (
+            self.checkpoint_cost
+            + self.replay_cost
+            + self.backoff_cost
+            + model.g
+            * (self.retransmitted_messages + self.duplicate_messages)
+            + model.L * self.delay_stalls
+        )
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock-equivalent time including fault handling."""
+        return self.bsp_time + self.recovery_cost
+
+    @property
+    def recovery_overhead(self) -> float:
+        """``recovery_cost / bsp_time`` — 0.0 for a clean run.
+
+        The factor by which fault tolerance inflated the run: a value
+        of 0.25 means checkpoints + recovery cost a quarter of the
+        fault-free time on top.
+        """
+        if self.bsp_time == 0:
+            return 0.0
+        return self.recovery_cost / self.bsp_time
+
+    @property
+    def faulted_time_processor_product(self) -> float:
+        """``P(n) * total_time`` — the TPP including fault handling."""
+        return self.num_workers * self.total_time
+
     def summary(self) -> Dict[str, float]:
         """A plain-dict summary convenient for reports and tests."""
         return {
@@ -149,4 +228,9 @@ class RunStats:
             "bsp_time": self.bsp_time,
             "time_processor_product": self.time_processor_product,
             "max_imbalance": self.max_imbalance,
+            "checkpoints_written": self.checkpoints_written,
+            "supersteps_replayed": self.supersteps_replayed,
+            "recovery_attempts": self.recovery_attempts,
+            "recovery_overhead": self.recovery_overhead,
+            "total_time": self.total_time,
         }

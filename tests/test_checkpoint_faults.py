@@ -1,0 +1,206 @@
+"""Unit tests for the checkpoint and fault-injection primitives."""
+
+import pytest
+
+from repro.bsp import PregelEngine, VertexProgram
+from repro.bsp.checkpoint import (
+    CheckpointStore,
+    cow_copy,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.bsp.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    crash_plan,
+)
+from repro.errors import CheckpointError, WorkerCrashError
+from repro.graph import path_graph
+
+
+class TestCowCopy:
+    def test_immutable_leaves_are_shared(self):
+        for value in (None, True, 7, 2.5, "abc", b"xy", frozenset({1})):
+            assert cow_copy(value) is value
+
+    def test_tuple_of_immutables_is_shared(self):
+        value = (1, "two", 3.0, (4, 5))
+        assert cow_copy(value) is value
+
+    def test_tuple_holding_mutable_is_copied(self):
+        value = (1, [2, 3])
+        copied = cow_copy(value)
+        assert copied == value and copied is not value
+        copied[1].append(4)
+        assert value[1] == [2, 3]
+
+    def test_mutable_containers_are_independent(self):
+        value = {"a": [1, 2], "b": {"c": {3}}}
+        copied = cow_copy(value)
+        assert copied == value
+        value["a"].append(99)
+        value["b"]["c"].add(99)
+        assert copied == {"a": [1, 2], "b": {"c": {3}}}
+
+    def test_unknown_objects_fall_back_to_deepcopy(self):
+        class Box:
+            def __init__(self, items):
+                self.items = items
+
+        box = Box([1, 2])
+        copied = cow_copy(box)
+        assert copied is not box
+        box.items.append(3)
+        assert copied.items == [1, 2]
+
+
+class Accumulate(VertexProgram):
+    """Counts supersteps in each vertex; runs until superstep 3."""
+
+    name = "accumulate"
+
+    def compute(self, v, msgs, ctx):
+        v.value = (v.value or 0) + 1
+        if ctx.superstep < 3:
+            ctx.send(v.id, "tick")
+        else:
+            v.vote_to_halt()
+
+
+class TestCheckpointRoundTrip:
+    def test_snapshot_is_isolated_from_live_mutation(self):
+        engine = PregelEngine(path_graph(6), Accumulate(), num_workers=2)
+        ckpt = take_checkpoint(engine, 0)
+        assert ckpt.superstep == 0
+        assert ckpt.size > 0
+        # Mutate live state after the snapshot...
+        for state in engine._states.values():
+            state.value = "corrupted"
+            state.halted = True
+            state.out_edges.clear()
+        engine.rng.random()
+        # ...and the restore must bring everything back.
+        restore_checkpoint(engine, ckpt)
+        for vid, state in engine._states.items():
+            assert state.value is None
+            assert not state.halted
+        result = engine.run()
+        assert all(v == 4 for v in result.values.values())
+
+    def test_restore_preserves_undirected_edge_aliasing(self):
+        engine = PregelEngine(path_graph(4), Accumulate())
+        ckpt = take_checkpoint(engine, 0)
+        restore_checkpoint(engine, ckpt)
+        for state in engine._states.values():
+            assert state.in_edges is state.out_edges
+
+    def test_store_counts_writes(self):
+        engine = PregelEngine(path_graph(4), Accumulate())
+        store = CheckpointStore()
+        store.save(take_checkpoint(engine, 0))
+        store.save(take_checkpoint(engine, 2))
+        assert store.written == 2
+        assert store.latest.superstep == 2
+        assert store.total_size >= 2 * store.latest.size
+
+    def test_empty_store_refuses_restore(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.require_latest()
+
+
+class TestFaultPlan:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(delay_rate=1.0)
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError):
+            CrashFault(superstep=-1)
+        with pytest.raises(ValueError):
+            CrashFault(superstep=0, times=0)
+
+    def test_crash_list_normalized_to_tuple(self):
+        plan = FaultPlan(crashes=[CrashFault(1)])
+        assert isinstance(plan.crashes, tuple)
+        assert plan.has_crashes
+
+    def test_describe_names_every_fault(self):
+        plan = FaultPlan(
+            seed=5,
+            crashes=(CrashFault(2, worker=1, times=3),),
+            drop_rate=0.1,
+            duplicate_rate=0.2,
+            delay_rate=0.3,
+            name="everything",
+        )
+        text = plan.describe()
+        assert "everything" in text
+        assert "crash(w1@s2x3)" in text
+        assert "drop=0.1" in text
+        assert "dup=0.2" in text
+        assert "delay=0.3" in text
+        assert "seed=5" in text
+
+    def test_no_faults_describe(self):
+        assert "no faults" in FaultPlan().describe()
+
+
+class TestFaultInjector:
+    def test_crash_fires_exactly_times(self):
+        injector = FaultInjector(
+            crash_plan(superstep=2, worker=1, times=2)
+        )
+        injector.begin_superstep(0)  # nothing
+        with pytest.raises(WorkerCrashError) as err:
+            injector.begin_superstep(2)
+        assert err.value.worker == 1
+        assert err.value.superstep == 2
+        assert injector.pending_crashes(2) == 1
+        with pytest.raises(WorkerCrashError):
+            injector.begin_superstep(2)
+        injector.begin_superstep(2)  # budget exhausted: no raise
+        assert injector.pending_crashes(2) == 0
+
+    def test_crash_worker_wraps_around_num_workers(self):
+        injector = FaultInjector(
+            crash_plan(superstep=1, worker=7), num_workers=4
+        )
+        with pytest.raises(WorkerCrashError) as err:
+            injector.begin_superstep(1)
+        assert err.value.worker == 3
+
+    def test_network_faults_deterministic_per_seed(self):
+        def trace(seed):
+            injector = FaultInjector(
+                FaultPlan(
+                    seed=seed,
+                    drop_rate=0.3,
+                    duplicate_rate=0.3,
+                    delay_rate=0.3,
+                )
+            )
+            return [
+                (f.retransmitted, f.duplicated, f.delayed)
+                for f in (
+                    injector.network_faults(50) for _ in range(5)
+                )
+            ]
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_no_rates_means_no_draws(self):
+        injector = FaultInjector(FaultPlan())
+        faults = injector.network_faults(1000)
+        assert (
+            faults.retransmitted,
+            faults.duplicated,
+            faults.delayed,
+        ) == (0, 0, 0)
+        assert not faults.stalled

@@ -102,6 +102,41 @@ class TestBasicSemantics:
         with pytest.raises(SuperstepLimitExceeded):
             run_program(path_graph(2), Forever(), max_supersteps=10)
 
+    def test_superstep_limit_carries_bound_and_program_name(self):
+        class Forever(VertexProgram):
+            name = "spinner"
+
+            def compute(self, v, msgs, ctx):
+                ctx.send(v.id, "again")
+
+        with pytest.raises(SuperstepLimitExceeded) as err:
+            run_program(path_graph(2), Forever(), max_supersteps=7)
+        assert err.value.limit == 7
+        assert "spinner" in str(err.value)
+
+    def test_halting_exactly_at_the_limit_is_fine(self):
+        class CountDown(VertexProgram):
+            def compute(self, v, msgs, ctx):
+                if ctx.superstep < 4:
+                    ctx.send(v.id, "tick")
+                else:
+                    v.vote_to_halt()
+
+        # The program needs exactly 5 supersteps; a budget of 5 must
+        # succeed and a budget of 4 must raise.
+        r = run_program(path_graph(3), CountDown(), max_supersteps=5)
+        assert r.num_supersteps == 5
+        with pytest.raises(SuperstepLimitExceeded):
+            run_program(path_graph(3), CountDown(), max_supersteps=4)
+
+    def test_superstep_limit_of_one(self):
+        class Quiet(VertexProgram):
+            def compute(self, v, msgs, ctx):
+                v.vote_to_halt()
+
+        r = run_program(path_graph(2), Quiet(), max_supersteps=1)
+        assert r.num_supersteps == 1
+
     def test_send_to_unknown_vertex_raises(self):
         class Bad(VertexProgram):
             def compute(self, v, msgs, ctx):
@@ -109,6 +144,19 @@ class TestBasicSemantics:
 
         with pytest.raises(MessageToUnknownVertexError):
             run_program(path_graph(2), Bad())
+
+    def test_engine_enqueue_rejects_unknown_target(self):
+        # The engine-level guard (not just the context-level one):
+        # a raw _enqueue to a nonexistent vertex must raise the
+        # dedicated error, never a bare KeyError.
+        class Quiet(VertexProgram):
+            def compute(self, v, msgs, ctx):
+                v.vote_to_halt()
+
+        engine = PregelEngine(path_graph(3), Quiet())
+        with pytest.raises(MessageToUnknownVertexError) as err:
+            engine._enqueue(0, "ghost", "boo")
+        assert err.value.target == "ghost"
 
     def test_initial_value_hook(self):
         class WithInit(VertexProgram):
@@ -330,6 +378,32 @@ class TestMutations:
         g = path_graph(2)
         r = run_program(g, Grow())
         assert r.values["new"] == "hello"
+
+    def test_counters_balance_when_mutation_drops_messages(self):
+        # Regression: messages to a vertex removed in the same
+        # superstep are dropped at delivery; the send/receive books
+        # must still balance at every superstep boundary.
+        class SendToDoomed(VertexProgram):
+            def compute(self, v, msgs, ctx):
+                if ctx.superstep == 0:
+                    if v.id != 1:
+                        ctx.send(1, "doomed")
+                    if v.id == 0:
+                        ctx.remove_vertex(1)
+                        ctx.send(0, "tick")
+                else:
+                    v.vote_to_halt()
+
+        g = path_graph(5)
+        r = run_program(g, SendToDoomed(), num_workers=3)
+        assert 1 not in r.values
+        for s in r.stats.supersteps:
+            assert sum(s.sent_logical) == sum(s.received_logical), (
+                f"superstep {s.superstep} books do not balance"
+            )
+        # Superstep 0: four messages to the doomed vertex dropped,
+        # only the self-message to 0 delivered and counted.
+        assert r.stats.supersteps[0].total_messages == 1
 
     def test_vertex_local_edge_mutation(self):
         # Programs may mutate their own out_edges directly (Pregel
