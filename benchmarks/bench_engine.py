@@ -1,0 +1,167 @@
+"""Wall-clock harness for the dense-index fast path.
+
+Runs each core workload twice on the same graph — once on the
+reference dict-mailbox path (``use_fast_path=False``), once on the
+dense fast path — asserts the results are byte-identical, and reports
+per-workload wall-clock speedups as JSON.
+
+This is a *wall-clock* bench, unlike the rest of ``benchmarks/`` which
+measures the simulated BSP cost model: the two paths produce identical
+``RunStats`` by contract (see ``tests/test_fast_path_equivalence.py``),
+so the only thing left to measure is real seconds.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --scale 1.0 --repeats 3 --out BENCH_engine.json
+
+``--min-pagerank-speedup`` makes the harness exit non-zero when the
+fast path fails to beat the reference by the given factor on PageRank;
+CI runs a quarter-scale smoke with a floor of 1.0 (fast must at least
+not be slower), while the committed full-scale ``BENCH_engine.json``
+documents the >= 3x acceptance result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+import time
+
+from repro.algorithms.cc_hashmin import HashMinComponents
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SingleSourceShortestPaths
+from repro.algorithms.wcc import WeaklyConnectedComponents
+from repro.bsp import MinCombiner, PregelEngine, SumCombiner
+from repro.graph import barabasi_albert_graph
+
+#: Full-scale graph: a Barabasi-Albert graph with ~100k directed
+#: runtime edges (n * k undirected attachments, materialized both
+#: ways).  ``--scale`` shrinks n while keeping k fixed.
+BASE_N = 12_500
+K = 8
+
+WORKLOADS = [
+    ("pagerank", lambda: PageRank(num_supersteps=10), SumCombiner),
+    ("sssp", lambda: SingleSourceShortestPaths(0), MinCombiner),
+    ("wcc", lambda: WeaklyConnectedComponents(), MinCombiner),
+    ("hashmin", lambda: HashMinComponents(), MinCombiner),
+]
+
+
+def _run(graph, make_program, combiner_cls, fast, repeats):
+    """Best-of-``repeats`` wall-clock run; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        engine = PregelEngine(
+            graph,
+            make_program(),
+            num_workers=4,
+            combiner=combiner_cls(),
+            track_bppa=False,
+            use_fast_path=fast,
+        )
+        start = time.perf_counter()
+        res = engine.run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            result = res
+    return best, result
+
+
+def _fingerprint(result) -> bytes:
+    """Byte-exact digest of everything a run produces."""
+    return pickle.dumps(
+        (
+            sorted(result.values.items()),
+            result.stats,
+            result.aggregate_history,
+        )
+    )
+
+
+def run_bench(scale: float, repeats: int) -> dict:
+    n = max(K + 1, int(BASE_N * scale))
+    graph = barabasi_albert_graph(n, K, seed=1)
+    report = {
+        "scale": scale,
+        "n": graph.num_vertices,
+        "edges": graph.num_edges,
+        "k": K,
+        "repeats": repeats,
+        "num_workers": 4,
+        "python": sys.version.split()[0],
+        "workloads": {},
+    }
+    for name, make_program, combiner_cls in WORKLOADS:
+        ref_s, ref = _run(graph, make_program, combiner_cls, False, repeats)
+        fast_s, fast = _run(graph, make_program, combiner_cls, True, repeats)
+        if _fingerprint(ref) != _fingerprint(fast):
+            raise AssertionError(
+                f"{name}: fast path diverged from reference"
+            )
+        report["workloads"][name] = {
+            "reference_seconds": round(ref_s, 4),
+            "fast_seconds": round(fast_s, 4),
+            "speedup": round(ref_s / fast_s, 2),
+            "supersteps": ref.num_supersteps,
+            "logical_messages": ref.stats.total_messages,
+            "network_messages": ref.stats.total_network_messages,
+            "identical": True,
+        }
+        print(
+            f"{name:>10}: ref {ref_s:7.3f}s  fast {fast_s:7.3f}s  "
+            f"speedup {ref_s / fast_s:5.2f}x  (identical results)"
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="graph-size multiplier on the full-scale n=%d" % BASE_N,
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per cell (best-of)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--min-pagerank-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the PageRank speedup is below this",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.scale, args.repeats)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.min_pagerank_speedup is not None:
+        speedup = report["workloads"]["pagerank"]["speedup"]
+        if speedup < args.min_pagerank_speedup:
+            print(
+                f"FAIL: PageRank speedup {speedup:.2f}x is below the "
+                f"required {args.min_pagerank_speedup:.2f}x"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

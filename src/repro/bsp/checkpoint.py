@@ -116,6 +116,10 @@ class Checkpoint:
     rng_state: Tuple
     wake_all: bool
     bppa_observation: Optional[BppaObservation] = None
+    #: Whether the engine's dense fast path was engaged when the
+    #: snapshot was taken; rollback resumes on the same path so the
+    #: replayed supersteps execute identically.
+    fast_active: bool = True
     #: Snapshot size in state atoms — drives the write-cost charge.
     size: int = 0
 
@@ -199,13 +203,14 @@ def take_checkpoint(engine, superstep: int) -> Checkpoint:
         ],
         inbox={
             vid: [cow_copy(m) for m in msgs]
-            for vid, msgs in engine._inbox.items()
+            for vid, msgs in engine._inbox_snapshot_items()
         },
         agg_finalized=cow_copy(engine._agg_finalized),
         history_len=len(engine._aggregate_history),
         rng_state=engine.rng.getstate(),
         wake_all=engine._wake_all,
         bppa_observation=observation,
+        fast_active=engine._fast_active,
     )
 
 
@@ -242,11 +247,16 @@ def restore_checkpoint(engine, checkpoint: Checkpoint) -> None:
     ):
         worker.vertex_ids = list(vids)
         worker.reset_counters()
-    engine._inbox = {
-        vid: [cow_copy(m) for m in msgs]
-        for vid, msgs in checkpoint.inbox.items()
-    }
-    engine._outbox = {}
+    # Re-adopt the execution path the snapshot was taken on (the dense
+    # index is recompiled from the restored worker lists), then load
+    # the undelivered inbox into that path's mailbox layout.
+    engine._reset_execution_path(checkpoint.fast_active)
+    engine._restore_inbox(
+        {
+            vid: [cow_copy(m) for m in msgs]
+            for vid, msgs in checkpoint.inbox.items()
+        }
+    )
     engine._agg_finalized = cow_copy(checkpoint.agg_finalized)
     del engine._aggregate_history[checkpoint.history_len:]
     engine.rng.setstate(checkpoint.rng_state)

@@ -8,7 +8,6 @@ from typing import Any, Dict, Hashable, Iterable, Optional
 
 from repro.bsp.mutation import MutationLog
 from repro.bsp.vertex import VertexState
-from repro.errors import MessageToUnknownVertexError
 
 
 class ComputeContext:
@@ -22,11 +21,20 @@ class ComputeContext:
     def __init__(self, engine):
         self._engine = engine
         self.superstep: int = 0
+        #: Number of vertices currently in the computation.  Plain
+        #: attribute (not a property) because hot compute loops read
+        #: it per vertex; rebound each superstep — mutations only
+        #: apply at superstep boundaries, so it cannot go stale
+        #: mid-superstep.
+        self.num_vertices: int = engine.num_vertices
         self._current_vertex: Optional[VertexState] = None
         self._sent: int = 0
         self._charged: float = 0.0
         self._aggregates_prev: Dict[str, Any] = {}
         self._mutations = MutationLog()
+        # Hot-path binding: forward aggregate() straight to the engine
+        # (shadows the class method; one call frame per contribution).
+        self.aggregate = engine._aggregate
 
     # -- rebinding (engine-internal) -----------------------------------
 
@@ -34,6 +42,7 @@ class ComputeContext:
         self, superstep: int, aggregates_prev: Dict[str, Any]
     ) -> None:
         self.superstep = superstep
+        self.num_vertices = self._engine.num_vertices
         self._aggregates_prev = aggregates_prev
 
     def _begin_vertex(self, vertex: VertexState) -> None:
@@ -42,11 +51,6 @@ class ComputeContext:
         self._charged = 0.0
 
     # -- global read-only views ----------------------------------------
-
-    @property
-    def num_vertices(self) -> int:
-        """Number of vertices currently in the computation."""
-        return self._engine.num_vertices
 
     @property
     def random(self) -> random.Random:
@@ -62,23 +66,32 @@ class ComputeContext:
     # -- messaging -------------------------------------------------------
 
     def send(self, target: Hashable, message: Any) -> None:
-        """Send ``message`` to ``target``, delivered next superstep."""
-        if not self._engine.has_vertex(target):
-            raise MessageToUnknownVertexError(target)
+        """Send ``message`` to ``target``, delivered next superstep.
+
+        Raises :class:`~repro.errors.MessageToUnknownVertexError`
+        (from the engine) when ``target`` is not a current vertex.
+        """
         self._engine._enqueue(self._current_vertex.id, target, message)
         self._sent += 1
 
     def send_to_neighbors(
         self, vertex: VertexState, message: Any
     ) -> None:
-        """Send ``message`` along every out-edge of ``vertex``."""
-        for target in vertex.out_edges:
-            self.send(target, message)
+        """Send ``message`` along every out-edge of ``vertex``.
+
+        Dispatched as one bulk engine call so the fast path can hoist
+        its per-message lookups out of the loop; accounting is
+        identical to calling :meth:`send` per target.
+        """
+        self._sent += self._engine._fanout(
+            self._current_vertex.id, vertex.out_edges, message
+        )
 
     def send_to(self, targets: Iterable[Hashable], message: Any) -> None:
         """Send the same ``message`` to each vertex in ``targets``."""
-        for target in targets:
-            self.send(target, message)
+        self._sent += self._engine._fanout(
+            self._current_vertex.id, targets, message
+        )
 
     # -- work accounting --------------------------------------------------
 

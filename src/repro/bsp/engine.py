@@ -30,13 +30,41 @@ logged messages.  Message drop/duplicate/delay faults are masked by
 the simulated reliable-delivery layer, so *any* faulted run that
 completes produces byte-identical values to the fault-free run; only
 the cost accounting (``RunStats.recovery_overhead``) differs.
+
+Two execution paths (``docs/performance.md``)
+---------------------------------------------
+
+The engine owns two interchangeable implementations of its hot loop:
+
+* the **reference dict path** — hashable-keyed ``_inbox``/``_outbox``
+  dicts, one ``(src_worker, message)`` tuple per logical message,
+  combiner applied at delivery.  Always correct, engaged under
+  topology mutations and confined recovery, and the oracle the fast
+  path is tested against;
+* the **dense fast path** — vertex ids compiled to contiguous ints
+  (:class:`~repro.graph.partition.DenseIndex`), slot mailboxes (flat
+  lists indexed by dense id with per-superstep dirty lists, so
+  clearing is O(active) not O(n)), and the combiner folded *at send
+  time* into a per-``(destination, sending worker)`` slot.
+
+Both paths execute vertices, fold combiners, deliver messages and
+draw injected faults in exactly the same order, so a run produces
+**byte-identical** ``PregelResult`` values, ``RunStats``, and BPPA
+observations on either path — including under checkpointing and
+fault plans.  The fast path engages automatically and disengages for
+the rest of the run the first time a topology mutation is applied
+(dense ids are frozen); ``confined_recovery`` runs use the reference
+path throughout, because confined replay re-executes single
+partitions against logged per-vertex inboxes.
 """
 
 from __future__ import annotations
 
+import operator
 import random
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Set
 
 from repro.bsp.checkpoint import (
     CheckpointStore,
@@ -44,9 +72,9 @@ from repro.bsp.checkpoint import (
     restore_partition,
     take_checkpoint,
 )
-from repro.bsp.combiner import Combiner
+from repro.bsp.combiner import Combiner, SumCombiner
 from repro.bsp.context import ComputeContext, MasterContext
-from repro.bsp.faults import FaultInjector, FaultPlan
+from repro.bsp.faults import DeliveryFaults, FaultInjector, FaultPlan
 from repro.bsp.program import VertexProgram
 from repro.bsp.vertex import VertexState
 from repro.bsp.worker import Worker
@@ -58,7 +86,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.graph.graph import Graph
-from repro.graph.partition import HashPartitioner
+from repro.graph.partition import HashPartitioner, build_dense_index
 from repro.metrics.bppa import BppaObservation, BppaTracker
 from repro.metrics.cost_model import BSPCostModel
 from repro.metrics.stats import RunStats, SuperstepStats
@@ -127,7 +155,14 @@ class PregelEngine:
         messages instead of rolling every worker back (cheaper; falls
         back to full rollback when topology mutated since the last
         checkpoint; assumes ``compute`` does not draw from
-        ``ctx.random``).
+        ``ctx.random``).  Forces the reference execution path.
+    use_fast_path:
+        ``None`` (default): engage the dense-index fast path unless
+        ``confined_recovery`` is set.  ``False``: force the reference
+        dict path (the equivalence oracle).  ``True``: require the
+        fast path; raises :class:`ValueError` when combined with
+        ``confined_recovery``.  Either way the first applied topology
+        mutation permanently falls back to the reference path.
     """
 
     def __init__(
@@ -145,6 +180,7 @@ class PregelEngine:
         fault_plan: Optional[FaultPlan] = None,
         max_recovery_attempts: int = 3,
         confined_recovery: bool = False,
+        use_fast_path: Optional[bool] = None,
     ):
         self._graph = graph
         self._program = program
@@ -168,10 +204,11 @@ class PregelEngine:
             }
             self._tracker = BppaTracker(degrees)
 
-        # Superstep-scoped structures.
+        # Superstep-scoped structures (reference dict path; the fast
+        # path swaps the mailboxes for dense slot arrays below).
         self._ctx = ComputeContext(self)
-        self._inbox: Dict[Hashable, List[Any]] = {}
-        self._outbox: Dict[Hashable, List] = {}
+        self._inbox: Dict[Hashable, List[Any]] = defaultdict(list)
+        self._outbox: Dict[Hashable, List] = defaultdict(list)
         self._aggregators = dict(getattr(program, "aggregators", dict)())
         self._agg_current: Dict[str, Any] = {}
         self._agg_finalized: Dict[str, Any] = {}
@@ -211,6 +248,40 @@ class PregelEngine:
         self._crash_counts: Dict[int, int] = {}
         self._run_stats: Optional[RunStats] = None
 
+        # Execution-path selection (dense fast path vs reference).
+        if use_fast_path and confined_recovery:
+            raise ValueError(
+                "the dense fast path cannot run under confined "
+                "recovery (confined replay needs the per-vertex "
+                "message log of the reference path)"
+            )
+        if use_fast_path is None:
+            use_fast_path = not confined_recovery
+        self._fast_enabled = bool(use_fast_path)
+        self._fast_active = False
+        self._enqueue = self._enqueue_reference
+        self._fanout = self._fanout_reference
+        self._dense = None
+        self._dense_states: Optional[List[VertexState]] = None
+        self._dense_out: Optional[List[Optional[List[int]]]] = None
+        self._remote_out: Optional[List[int]] = None
+        self._in_slots: Optional[List[Optional[List[Any]]]] = None
+        self._in_dirty: List[int] = []
+        self._out_dirty: List[int] = []
+        self._out_pending = 0
+        self._accs: Optional[List[List[Any]]] = None
+        self._cnts: Optional[List[List[int]]] = None
+        self._acc: Optional[List[Any]] = None
+        self._cnt: Optional[List[int]] = None
+        self._acc_touched: List[int] = []
+        self._slot_seen: Optional[List[int]] = None
+        self._stamp = 0
+        self._cur_worker: Optional[Worker] = None
+        self._cur_src = 0
+        self._cur_idx = 0
+        if self._fast_enabled:
+            self._engage_fast_path()
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -242,34 +313,417 @@ class PregelEngine:
     def num_vertices(self) -> int:
         return len(self._states)
 
+    @property
+    def fast_path(self) -> bool:
+        """True while the dense-index fast path is engaged."""
+        return self._fast_active
+
     def has_vertex(self, vertex_id: Hashable) -> bool:
         return vertex_id in self._states
 
-    def _enqueue(
+    def _enqueue_reference(
         self, source: Hashable, target: Hashable, message: Any
     ) -> None:
+        if target not in self._states:
+            raise MessageToUnknownVertexError(target)
         if self._replaying:
             # Confined replay recomputes state only; every message the
             # original execution sent was already delivered (and
             # logged), so re-sends are suppressed.
             return
-        if target not in self._states:
-            raise MessageToUnknownVertexError(target)
         src_worker = self._owner[source]
         dst_worker = self._owner[target]
-        self._outbox.setdefault(target, []).append(
-            (src_worker, message)
-        )
+        self._outbox[target].append((src_worker, message))
         self._workers[src_worker].sent_logical += 1
         if src_worker != dst_worker:
             self._workers[src_worker].sent_remote += 1
 
+    def _fanout_reference(
+        self, source: Hashable, targets, message: Any
+    ) -> int:
+        enqueue = self._enqueue
+        n = 0
+        for target in targets:
+            enqueue(source, target, message)
+            n += 1
+        return n
+
+    # -- fast path: slot mailboxes, send-time combining ----------------
+    #
+    # These run only from inside the fast compute pass, which binds
+    # self._cur_worker / self._cur_src / self._cur_idx per vertex and
+    # self._acc / self._cnt per worker; confined recovery (the only
+    # producer of _replaying) forces the reference path, so no replay
+    # guard is needed here.
+    #
+    # Key properties that keep the fast path byte-identical:
+    #
+    # * Workers execute sequentially, so global send order is "all of
+    #   worker 0's sends, then worker 1's, …".  Each worker owns a
+    #   persistent accumulator array indexed by dense destination
+    #   (its ``(src_worker, destination)`` slots), and delivery scans
+    #   the workers in index order per destination — which is exactly
+    #   the per-destination grouping order the reference outbox
+    #   produces at delivery time.
+    # * ``_out_dirty`` is rebuilt per superstep by stamping first
+    #   touches per worker and deduplicating across workers in worker
+    #   order; that equals the reference outbox's key insertion order,
+    #   which fixes the fault-injection draw sequence and the inbox
+    #   (and checkpoint) insertion order.
+    # * The dense adjacency (_dense_out/_remote_out, compiled once at
+    #   engage) replaces the per-message id hash for full-neighbor
+    #   fanouts; the topology is frozen while the fast path is active,
+    #   so the compiled neighbor indices cannot go stale.
+    #
+    # With a combiner, a slot is a single combined message in
+    # ``_accs[w][dst]`` plus its logical count in ``_cnts[w][dst]``
+    # (occupancy is ``cnt > 0``, so messages may be any value,
+    # including None); without one it is a list of messages in send
+    # order (occupancy: non-None).
+
+    def _enqueue_fast(
+        self, source: Hashable, target: Hashable, message: Any
+    ) -> None:
+        dst = self._dense.idx_of.get(target)
+        if dst is None:
+            raise MessageToUnknownVertexError(target)
+        bucket = self._acc[dst]
+        if bucket is None:
+            self._acc[dst] = [message]
+            self._acc_touched.append(dst)
+        else:
+            bucket.append(message)
+        self._out_pending += 1
+        worker = self._cur_worker
+        worker.sent_logical += 1
+        if self._dense.owner_of[dst] != self._cur_src:
+            worker.sent_remote += 1
+
+    def _enqueue_fast_combining(
+        self, source: Hashable, target: Hashable, message: Any
+    ) -> None:
+        dst = self._dense.idx_of.get(target)
+        if dst is None:
+            raise MessageToUnknownVertexError(target)
+        cnt = self._cnt
+        c = cnt[dst]
+        if c:
+            self._acc[dst] = self._combine(self._acc[dst], message)
+            cnt[dst] = c + 1
+        else:
+            self._acc[dst] = message
+            cnt[dst] = 1
+            self._acc_touched.append(dst)
+        self._out_pending += 1
+        worker = self._cur_worker
+        worker.sent_logical += 1
+        if self._dense.owner_of[dst] != self._cur_src:
+            worker.sent_remote += 1
+
+    def _fanout_fast(self, source, targets, message) -> int:
+        idx = self._cur_idx
+        acc = self._acc
+        touched = self._acc_touched
+        worker = self._cur_worker
+        nbrs = self._dense_out[idx]
+        if (
+            nbrs is not None
+            and targets is self._dense_states[idx].out_edges
+        ):
+            # Full-neighbor fanout: use the precompiled dense
+            # adjacency — no per-target hashing.
+            for dst in nbrs:
+                bucket = acc[dst]
+                if bucket is None:
+                    acc[dst] = [message]
+                    touched.append(dst)
+                else:
+                    bucket.append(message)
+            n = len(nbrs)
+            worker.sent_logical += n
+            worker.sent_remote += self._remote_out[idx]
+            self._out_pending += n
+            return n
+        idx_get = self._dense.idx_of.get
+        owner_of = self._dense.owner_of
+        src = self._cur_src
+        n = remote = 0
+        try:
+            for target in targets:
+                dst = idx_get(target)
+                if dst is None:
+                    raise MessageToUnknownVertexError(target)
+                bucket = acc[dst]
+                if bucket is None:
+                    acc[dst] = [message]
+                    touched.append(dst)
+                else:
+                    bucket.append(message)
+                if owner_of[dst] != src:
+                    remote += 1
+                n += 1
+        finally:
+            # Commit partial counts on an unknown-target raise, exactly
+            # as per-message sends would have.
+            worker.sent_logical += n
+            worker.sent_remote += remote
+            self._out_pending += n
+        return n
+
+    def _fanout_fast_combining(self, source, targets, message) -> int:
+        idx = self._cur_idx
+        acc = self._acc
+        cnt = self._cnt
+        touched = self._acc_touched
+        combine = self._combine
+        worker = self._cur_worker
+        nbrs = self._dense_out[idx]
+        if (
+            nbrs is not None
+            and targets is self._dense_states[idx].out_edges
+        ):
+            for dst in nbrs:
+                c = cnt[dst]
+                if c:
+                    acc[dst] = combine(acc[dst], message)
+                    cnt[dst] = c + 1
+                else:
+                    acc[dst] = message
+                    cnt[dst] = 1
+                    touched.append(dst)
+            n = len(nbrs)
+            worker.sent_logical += n
+            worker.sent_remote += self._remote_out[idx]
+            self._out_pending += n
+            return n
+        idx_get = self._dense.idx_of.get
+        owner_of = self._dense.owner_of
+        src = self._cur_src
+        n = remote = 0
+        try:
+            for target in targets:
+                dst = idx_get(target)
+                if dst is None:
+                    raise MessageToUnknownVertexError(target)
+                c = cnt[dst]
+                if c:
+                    acc[dst] = combine(acc[dst], message)
+                    cnt[dst] = c + 1
+                else:
+                    acc[dst] = message
+                    cnt[dst] = 1
+                    touched.append(dst)
+                if owner_of[dst] != src:
+                    remote += 1
+                n += 1
+        finally:
+            worker.sent_logical += n
+            worker.sent_remote += remote
+            self._out_pending += n
+        return n
+
+    def _flush_worker_sends(self) -> None:
+        """Record the finished worker's first-touched destinations in
+        the global dirty list.
+
+        Runs once per worker per superstep, O(touched destinations),
+        and moves no payloads — slots stay in the per-worker
+        accumulators until delivery.  Workers flush in index order,
+        which is also global send order, so ``_out_dirty`` gets the
+        reference outbox's first-touch key order.
+        """
+        seen = self._slot_seen
+        stamp = self._stamp
+        dirty = self._out_dirty
+        for dst in self._acc_touched:
+            if seen[dst] != stamp:
+                seen[dst] = stamp
+                dirty.append(dst)
+        self._acc_touched = []
+
     def _aggregate(self, name: str, value: Any) -> None:
         if self._replaying:
             return
-        agg = self._aggregators[name]
-        current = self._agg_current.get(name, agg.initial())
-        self._agg_current[name] = agg.reduce(current, value)
+        # _agg_current is pre-seeded with every registered
+        # aggregator's initial() at superstep start, so an unknown
+        # name raises KeyError exactly as the registry lookup would.
+        current = self._agg_current
+        current[name] = self._aggregators[name].reduce(
+            current[name], value
+        )
+
+    # ------------------------------------------------------------------
+    # Execution-path management
+    # ------------------------------------------------------------------
+
+    def _engage_fast_path(self) -> None:
+        """Compile the dense index and switch to slot mailboxes.
+
+        Called at construction and when a checkpoint restore rewinds
+        the engine to a state where the fast path was active.  The
+        dense order mirrors worker/`vertex_ids` order exactly, so
+        execution sequencing is unchanged.
+        """
+        dense = build_dense_index(self._workers)
+        self._dense = dense
+        for worker, (start, stop) in zip(self._workers, dense.ranges):
+            worker.range_start = start
+            worker.range_stop = stop
+        states = self._states
+        dense_states = [states[vid] for vid in dense.id_of]
+        self._dense_states = dense_states
+        n = len(dense.id_of)
+        # Compile the dense adjacency: full-neighbor fanouts iterate
+        # precomputed int indices instead of hashing ids per message.
+        # A vertex with a dangling out-edge (no matching state) gets
+        # None and falls back to the generic per-target loop, which
+        # raises MessageToUnknownVertexError exactly as the reference
+        # path would.
+        idx_of = dense.idx_of
+        owner_of = dense.owner_of
+        dense_out: List[Optional[List[int]]] = [None] * n
+        remote_out = [0] * n
+        for idx, state in enumerate(dense_states):
+            src = owner_of[idx]
+            nbrs: List[int] = []
+            remote = 0
+            for target in state.out_edges:
+                j = idx_of.get(target)
+                if j is None:
+                    nbrs = None
+                    break
+                nbrs.append(j)
+                if owner_of[j] != src:
+                    remote += 1
+            if nbrs is not None:
+                dense_out[idx] = nbrs
+                remote_out[idx] = remote
+        self._dense_out = dense_out
+        self._remote_out = remote_out
+        self._in_slots = [None] * n
+        self._in_dirty = []
+        self._out_dirty = []
+        self._out_pending = 0
+        self._accs = [[None] * n for _ in self._workers]
+        self._cnts = (
+            [[0] * n for _ in self._workers]
+            if self._combiner is not None
+            else None
+        )
+        self._acc = None
+        self._cnt = None
+        self._acc_touched = []
+        self._slot_seen = [0] * n
+        self._stamp = 0
+        self._inbox = defaultdict(list)  # idle while fast
+        self._outbox = defaultdict(list)
+        if self._combiner is not None:
+            # Stock SumCombiner folds with the C-level add (exactly
+            # ``a + b``, the same expression its combine() evaluates),
+            # skipping a Python frame per fold.  Gated on the exact
+            # type so subclasses keep their overridden behavior.
+            if type(self._combiner) is SumCombiner:
+                self._combine = operator.add
+            else:
+                self._combine = self._combiner.combine
+            self._enqueue = self._enqueue_fast_combining
+            self._fanout = self._fanout_fast_combining
+        else:
+            self._enqueue = self._enqueue_fast
+            self._fanout = self._fanout_fast
+        self._fast_active = True
+
+    def _disengage_fast_path(self) -> None:
+        """Fall back to the reference dict path for the rest of the
+        run (the frozen dense index no longer matches the topology).
+
+        Undelivered slot-mailbox messages move to the dict inbox in
+        delivery order, so the reference path resumes byte-identically
+        next superstep.
+        """
+        inbox: Dict[Hashable, List[Any]] = defaultdict(list)
+        id_of = self._dense.id_of
+        in_slots = self._in_slots
+        for idx in self._in_dirty:
+            inbox[id_of[idx]] = in_slots[idx]
+        self._inbox = inbox
+        self._outbox = defaultdict(list)
+        self._dense = None
+        self._dense_states = None
+        self._dense_out = None
+        self._remote_out = None
+        self._in_slots = None
+        self._in_dirty = []
+        self._out_dirty = []
+        self._out_pending = 0
+        self._accs = None
+        self._cnts = None
+        self._acc = None
+        self._cnt = None
+        self._acc_touched = []
+        self._slot_seen = None
+        self._enqueue = self._enqueue_reference
+        self._fanout = self._fanout_reference
+        self._fast_active = False
+
+    def _reset_execution_path(self, fast: bool) -> None:
+        """Adopt the execution path recorded in a checkpoint.
+
+        Invoked by :func:`~repro.bsp.checkpoint.restore_checkpoint`
+        after vertex states, ownership, and worker lists are restored;
+        rebuilds the path-specific mailboxes empty.
+        """
+        if fast and self._fast_enabled:
+            self._engage_fast_path()
+        else:
+            self._fast_active = False
+            self._dense = None
+            self._dense_states = None
+            self._dense_out = None
+            self._remote_out = None
+            self._in_slots = None
+            self._in_dirty = []
+            self._out_dirty = []
+            self._out_pending = 0
+            self._accs = None
+            self._cnts = None
+            self._acc = None
+            self._cnt = None
+            self._acc_touched = []
+            self._slot_seen = None
+            self._enqueue = self._enqueue_reference
+            self._fanout = self._fanout_reference
+            self._inbox = defaultdict(list)
+            self._outbox = defaultdict(list)
+
+    def _inbox_snapshot_items(self):
+        """``(vertex_id, messages)`` pairs of the undelivered inbox in
+        delivery order, independent of mailbox layout.  Used by
+        :func:`~repro.bsp.checkpoint.take_checkpoint`."""
+        if self._fast_active:
+            id_of = self._dense.id_of
+            in_slots = self._in_slots
+            return [
+                (id_of[idx], in_slots[idx]) for idx in self._in_dirty
+            ]
+        return list(self._inbox.items())
+
+    def _restore_inbox(self, inbox: Dict[Hashable, List[Any]]) -> None:
+        """Adopt ``inbox`` (delivery-ordered) into the active mailbox
+        layout.  Used by checkpoint restore."""
+        if self._fast_active:
+            idx_of = self._dense.idx_of
+            in_slots = self._in_slots
+            dirty = self._in_dirty
+            for vid, msgs in inbox.items():
+                idx = idx_of[vid]
+                in_slots[idx] = list(msgs)
+                dirty.append(idx)
+        else:
+            fresh: Dict[Hashable, List[Any]] = defaultdict(list)
+            for vid, msgs in inbox.items():
+                fresh[vid] = list(msgs)
+            self._inbox = fresh
 
     # ------------------------------------------------------------------
     # Main loop
@@ -334,24 +788,87 @@ class PregelEngine:
 
         for w in self._workers:
             w.reset_counters()
-        self._outbox = {}
+        fast = self._fast_active
+        if not fast:
+            self._outbox = defaultdict(list)
         self._agg_current = {
             name: agg.initial()
             for name, agg in self._aggregators.items()
         }
         ctx._begin_superstep(superstep, self._agg_finalized)
 
-        active_count = 0
         wake_all = self._wake_all or superstep == 0
         self._wake_all = False
         if self._confined_recovery:
             self._wake_log[superstep] = wake_all
+        if fast:
+            active_count = self._compute_pass_fast(wake_all)
+            pending = self._out_pending
+        else:
+            active_count = self._compute_pass_reference(wake_all)
+            pending = sum(len(v) for v in self._outbox.values())
+        if tracker is not None:
+            tracker.record_superstep()
+
+        # Aggregators reduced this superstep become visible next.
+        self._agg_finalized = dict(self._agg_current)
+        self._aggregate_history.append(self._agg_finalized)
+
+        master = MasterContext(
+            superstep=superstep,
+            aggregates=self._agg_finalized,
+            num_active=active_count,
+            num_vertices=len(self._states),
+            pending_messages=pending,
+        )
+        program.master_compute(master)
+
+        removed = self._apply_mutations()
+        mutated = removed is not None
+        if fast:
+            delivered = self._deliver_fast(superstep, mutated)
+            if mutated:
+                # The frozen dense index no longer matches the
+                # topology: hand the undelivered inbox to the
+                # reference path and stay there.
+                self._disengage_fast_path()
+        else:
+            delivered = self._deliver(superstep)
+        if removed:
+            # The senders' charges for messages to removed vertices
+            # were reversed during delivery; the ownership entries can
+            # now be reclaimed (re-added ids were already discarded
+            # from ``removed`` by _apply_mutations).
+            for vid in removed:
+                self._owner.pop(vid, None)
+        stats.supersteps.append(
+            self._superstep_stats(superstep, active_count)
+        )
+
+        if master._halt:
+            return True
+        if master._activate_all:
+            self._wake_all = True
+        if delivered == 0 and not self._wake_all:
+            if all(s.halted for s in self._states.values()):
+                return True
+        return False
+
+    def _compute_pass_reference(self, wake_all: bool) -> int:
+        """One superstep's compute calls on the dict path; returns the
+        active-vertex count."""
+        program = self._program
+        ctx = self._ctx
+        tracker = self._tracker
+        inbox = self._inbox
+        states = self._states
+        active_count = 0
         for worker in self._workers:
             for vid in worker.vertex_ids:
-                state = self._states.get(vid)
+                state = states.get(vid)
                 if state is None:
                     continue
-                messages = self._inbox.pop(vid, None)
+                messages = inbox.pop(vid, None)
                 if messages:
                     state.halted = False
                 elif state.halted and not wake_all:
@@ -372,37 +889,68 @@ class PregelEngine:
                         ops,
                         program.state_size(state),
                     )
-        if tracker is not None:
-            tracker.record_superstep()
+        return active_count
 
-        # Aggregators reduced this superstep become visible next.
-        self._agg_finalized = dict(self._agg_current)
-        self._aggregate_history.append(self._agg_finalized)
+    def _compute_pass_fast(self, wake_all: bool) -> int:
+        """One superstep's compute calls on the dense path.
 
-        pending = sum(len(v) for v in self._outbox.values())
-        master = MasterContext(
-            superstep=superstep,
-            aggregates=self._agg_finalized,
-            num_active=active_count,
-            num_vertices=len(self._states),
-            pending_messages=pending,
-        )
-        program.master_compute(master)
-
-        self._apply_mutations()
-        delivered = self._deliver(superstep)
-        stats.supersteps.append(
-            self._superstep_stats(superstep, active_count)
-        )
-
-        if master._halt:
-            return True
-        if master._activate_all:
-            self._wake_all = True
-        if delivered == 0 and not self._wake_all:
-            if all(s.halted for s in self._states.values()):
-                return True
-        return False
+        Identical visit order, wake/halt transitions, work accounting,
+        and tracker feed as :meth:`_compute_pass_reference`; vertex
+        state and mailboxes are reached by dense index instead of by
+        hashing, and consumed inbox slots are cleared O(active) via
+        the dirty list.
+        """
+        program = self._program
+        ctx = self._ctx
+        tracker = self._tracker
+        compute = program.compute
+        state_size = program.state_size
+        begin_vertex = ctx._begin_vertex
+        dense_states = self._dense_states
+        in_slots = self._in_slots
+        accs = self._accs
+        cnts = self._cnts
+        self._stamp += 1
+        active_count = 0
+        for worker in self._workers:
+            self._cur_worker = worker
+            self._cur_src = worker.index
+            self._acc = accs[worker.index]
+            if cnts is not None:
+                self._cnt = cnts[worker.index]
+            work = worker.work
+            for idx in range(worker.range_start, worker.range_stop):
+                state = dense_states[idx]
+                messages = in_slots[idx]
+                if messages:
+                    state.halted = False
+                elif state.halted and not wake_all:
+                    continue
+                else:
+                    if wake_all:
+                        state.halted = False
+                    messages = []
+                active_count += 1
+                self._cur_idx = idx
+                begin_vertex(state)
+                compute(state, messages, ctx)
+                ops = 1 + len(messages) + ctx._sent + ctx._charged
+                work += ops
+                if tracker is not None:
+                    tracker.record_vertex(
+                        state.id,
+                        ctx._sent,
+                        len(messages),
+                        ops,
+                        state_size(state),
+                    )
+            worker.work = work
+            if self._acc_touched:
+                self._flush_worker_sends()
+        for idx in self._in_dirty:
+            in_slots[idx] = None
+        self._in_dirty = []
+        return active_count
 
     # ------------------------------------------------------------------
     # Checkpointing and recovery
@@ -576,10 +1124,18 @@ class PregelEngine:
             executions=self._exec_counts.get(superstep, 1),
         )
 
-    def _apply_mutations(self) -> None:
+    def _apply_mutations(self) -> Optional[Set[Hashable]]:
+        """Apply the superstep's requested topology mutations.
+
+        Returns ``None`` when no mutation was requested, else the set
+        of removed vertex ids (possibly empty) whose ownership entries
+        the caller reclaims after delivery — delivery still needs
+        ``_owner`` to reverse the senders' charges for messages whose
+        destination was removed.
+        """
         log = self._ctx._mutations
         if log.is_empty():
-            return
+            return None
         self._mutated_since_checkpoint = True
         directed = self._graph.directed
         for u, v in log.remove_edges:
@@ -590,10 +1146,12 @@ class PregelEngine:
                 dst = self._states.get(v)
                 if dst is not None:
                     dst.in_edges.pop(u, None)
+        removed: Set[Hashable] = set()
         for vid in log.remove_vertices:
             state = self._states.pop(vid, None)
             if state is None:
                 continue
+            removed.add(vid)
             for src in list(state.in_edges):
                 other = self._states.get(src)
                 if other is not None:
@@ -607,6 +1165,15 @@ class PregelEngine:
             # the missing destination, drops them and reverses the
             # senders' charges so the logical books balance.
             self._inbox.pop(vid, None)
+        if removed:
+            # Compact the owners' id lists so later supersteps do not
+            # pay a dead-vertex skip per removed vertex forever.
+            for worker in {
+                self._workers[self._owner[vid]] for vid in removed
+            }:
+                worker.vertex_ids = [
+                    v for v in worker.vertex_ids if v not in removed
+                ]
         for vid, value in log.add_vertices:
             if vid in self._states:
                 continue
@@ -617,6 +1184,8 @@ class PregelEngine:
             widx = self._partitioner(vid) % self._num_workers
             self._owner[vid] = widx
             self._workers[widx].vertex_ids.append(vid)
+            # A removed-then-re-added id keeps its (new) ownership.
+            removed.discard(vid)
         for u, v, weight in log.add_edges:
             src = self._states.get(u)
             if src is None:
@@ -627,6 +1196,7 @@ class PregelEngine:
                 if dst is not None:
                     dst.in_edges[u] = weight
         log.clear()
+        return removed
 
     def _deliver(self, superstep: int) -> int:
         """Move the outbox into next superstep's inbox.
@@ -645,7 +1215,7 @@ class PregelEngine:
         injector = self._injector
         log_deliveries = self._confined_recovery
         log_entry: Dict[Hashable, List[Any]] = {}
-        retransmitted = duplicated = delayed = 0
+        faults = DeliveryFaults() if injector is not None else None
         for target, entries in self._outbox.items():
             if target not in self._states:
                 # Destination removed by a mutation this superstep:
@@ -679,23 +1249,119 @@ class PregelEngine:
                     self._workers[src_worker].sent_network += 1
                 dst_worker.received_network += len(groups)
             if injector is not None:
-                faults = injector.network_faults(len(msgs))
-                retransmitted += faults.retransmitted
-                duplicated += faults.duplicated
-                delayed += faults.delayed
-            inbox.setdefault(target, []).extend(msgs)
+                faults.absorb(injector.network_faults(len(msgs)))
+            inbox[target].extend(msgs)
             if log_deliveries:
                 log_entry[target] = list(inbox[target])
             delivered += len(msgs)
         if log_deliveries:
             self._message_log[superstep + 1] = log_entry
         if injector is not None:
-            stats = self._run_stats
-            stats.retransmitted_messages += retransmitted
-            stats.duplicate_messages += duplicated
-            if delayed:
-                stats.delay_stalls += 1
-        self._outbox = {}
+            injector.commit(faults, self._run_stats)
+        self._outbox = defaultdict(list)
+        return delivered
+
+    def _deliver_fast(self, superstep: int, mutated: bool) -> int:
+        """Slot-mailbox delivery: identical accounting and fault-draw
+        order to :meth:`_deliver`, over dense indices.
+
+        Network counts are the occupied ``(destination, src_worker)``
+        slots — the combiner already folded at send time — and
+        ``received_logical`` comes from the per-slot logical tallies,
+        so the logical/network split matches the reference path
+        exactly.  ``mutated`` enables the removed-destination check
+        (and charge reversal) that the reference path performs; when
+        no mutation was applied this superstep the check is skipped,
+        because every dense id is live by construction.
+        """
+        delivered = 0
+        injector = self._injector
+        workers = self._workers
+        dense = self._dense
+        owner_of = dense.owner_of
+        id_of = dense.id_of
+        in_slots = self._in_slots
+        in_dirty = self._in_dirty
+        states = self._states
+        combining = self._combiner is not None
+        faults = DeliveryFaults() if injector is not None else None
+        if combining:
+            lanes = list(zip(workers, self._accs, self._cnts))
+        else:
+            lanes = list(zip(workers, self._accs))
+        for dst in self._out_dirty:
+            if mutated and id_of[dst] not in states:
+                # Dropped: destination removed this superstep —
+                # reverse the senders' charges, as the reference
+                # delivery does.
+                target_owner = self._owner.get(id_of[dst])
+                if combining:
+                    for lane in lanes:
+                        count = lane[2][dst]
+                        if count:
+                            lane[2][dst] = 0
+                            lane[1][dst] = None
+                            w = lane[0]
+                            w.sent_logical -= count
+                            if (
+                                target_owner is None
+                                or w.index != target_owner
+                            ):
+                                w.sent_remote -= count
+                else:
+                    for lane in lanes:
+                        bucket = lane[1][dst]
+                        if bucket is not None:
+                            lane[1][dst] = None
+                            w = lane[0]
+                            w.sent_logical -= len(bucket)
+                            if (
+                                target_owner is None
+                                or w.index != target_owner
+                            ):
+                                w.sent_remote -= len(bucket)
+                continue
+            dst_worker = workers[owner_of[dst]]
+            if combining:
+                received = 0
+                msgs = []
+                for src_worker, acc_w, cnt_w in lanes:
+                    count = cnt_w[dst]
+                    if count:
+                        cnt_w[dst] = 0
+                        msgs.append(acc_w[dst])
+                        acc_w[dst] = None
+                        received += count
+                        src_worker.sent_network += 1
+                dst_worker.received_logical += received
+                dst_worker.received_network += len(msgs)
+            else:
+                msgs = None
+                for src_worker, acc_w in lanes:
+                    bucket = acc_w[dst]
+                    if bucket is not None:
+                        acc_w[dst] = None
+                        src_worker.sent_network += len(bucket)
+                        if msgs is None:
+                            msgs = bucket
+                        else:
+                            msgs.extend(bucket)
+                received = len(msgs)
+                dst_worker.received_logical += received
+                dst_worker.received_network += received
+            if injector is not None:
+                faults.absorb(injector.network_faults(len(msgs)))
+            existing = in_slots[dst]
+            if existing is None:
+                in_slots[dst] = msgs
+                in_dirty.append(dst)
+            else:  # pragma: no cover - inbox is drained every pass
+                existing.extend(msgs)
+            delivered += len(msgs)
+        self._out_dirty = []
+        self._out_pending = 0
+        if injector is not None:
+            injector.commit(faults, self._run_stats)
         return delivered
 
 

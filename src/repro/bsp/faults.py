@@ -146,6 +146,18 @@ class DeliveryFaults:
         """Did any late packet stall the superstep barrier?"""
         return self.delayed > 0
 
+    def absorb(self, other: "DeliveryFaults") -> None:
+        """Accumulate another batch's outcomes into this one.
+
+        Delivery code calls :meth:`FaultInjector.network_faults` once
+        per destination batch and absorbs the results into a single
+        per-superstep accumulator, then commits it via
+        :meth:`FaultInjector.commit`.
+        """
+        self.retransmitted += other.retransmitted
+        self.duplicated += other.duplicated
+        self.delayed += other.delayed
+
 
 class FaultInjector:
     """Replays a :class:`FaultPlan` against one engine run.
@@ -215,6 +227,22 @@ class FaultInjector:
             if plan.delay_rate and rng.random() < plan.delay_rate:
                 faults.delayed += 1
         return faults
+
+    def commit(self, faults: DeliveryFaults, stats) -> None:
+        """Fold one superstep's accumulated faults into ``stats``.
+
+        This is the single injection point shared by both of the
+        engine's delivery implementations (reference dict mailboxes
+        and dense slot mailboxes).  Injection is mailbox-layout
+        agnostic: :meth:`network_faults` draws from counts alone, so
+        as long as a delivery path presents the same per-destination
+        batch sizes in the same order, the fault trace — and therefore
+        the cost accounting — is identical.
+        """
+        stats.retransmitted_messages += faults.retransmitted
+        stats.duplicate_messages += faults.duplicated
+        if faults.delayed:
+            stats.delay_stalls += 1
 
 
 # ---------------------------------------------------------------------

@@ -20,6 +20,8 @@ class Worker:
     __slots__ = (
         "index",
         "vertex_ids",
+        "range_start",
+        "range_stop",
         "work",
         "sent_logical",
         "received_logical",
@@ -31,6 +33,12 @@ class Worker:
     def __init__(self, index: int):
         self.index = index
         self.vertex_ids: List[Hashable] = []
+        # Dense CSR range [range_start, range_stop) owned by this
+        # worker under the engine's fast path; both 0 until a
+        # DenseIndex is compiled (and stale after a topology mutation
+        # disengages the fast path).
+        self.range_start = 0
+        self.range_stop = 0
         self.work = 0.0
         self.sent_logical = 0
         self.received_logical = 0

@@ -8,11 +8,67 @@ cost model: the per-worker local work ``w_i`` and message counts
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 from repro.graph.graph import Graph
 
 Partitioner = Callable[[Hashable], int]
+
+
+@dataclass(frozen=True)
+class DenseIndex:
+    """A frozen id ↔ dense-int table over a fixed vertex partition.
+
+    The engine's fast execution path replaces hashable-keyed dict
+    lookups with flat-list indexing: every vertex id is compiled to a
+    contiguous int, grouped CSR-style so each worker owns one
+    contiguous index range.  Within a worker the dense order equals
+    the worker's ``vertex_ids`` order, which keeps the fast path's
+    compute/send/deliver sequencing byte-identical to the reference
+    dict path.
+
+    The table is *frozen*: it is valid only while the vertex set and
+    ownership it was built from stay unchanged.  Topology mutations
+    invalidate it — the engine disengages the fast path (falling back
+    to the dict mailboxes) the superstep a mutation is applied.
+    """
+
+    #: Dense index -> vertex id.
+    id_of: List[Hashable]
+    #: Vertex id -> dense index.
+    idx_of: Dict[Hashable, int]
+    #: Dense index -> owning worker index.
+    owner_of: List[int]
+    #: Per-worker ``(start, stop)`` dense ranges, CSR-style.
+    ranges: List[Tuple[int, int]]
+
+    def __len__(self) -> int:
+        return len(self.id_of)
+
+
+def build_dense_index(workers: Sequence) -> DenseIndex:
+    """Compile the workers' vertex lists into a :class:`DenseIndex`.
+
+    ``workers`` is the engine's worker list; each worker contributes
+    its ``vertex_ids`` in order, so worker ``i`` owns the contiguous
+    range ``ranges[i]`` and iteration over ``range(start, stop)``
+    visits vertices in exactly the order the reference path does.
+    """
+    id_of: List[Hashable] = []
+    idx_of: Dict[Hashable, int] = {}
+    owner_of: List[int] = []
+    ranges: List[Tuple[int, int]] = []
+    for worker in workers:
+        start = len(id_of)
+        for vid in worker.vertex_ids:
+            idx_of[vid] = len(id_of)
+            id_of.append(vid)
+            owner_of.append(worker.index)
+        ranges.append((start, len(id_of)))
+    return DenseIndex(
+        id_of=id_of, idx_of=idx_of, owner_of=owner_of, ranges=ranges
+    )
 
 
 class HashPartitioner:

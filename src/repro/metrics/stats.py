@@ -81,6 +81,51 @@ class SuperstepStats:
     def total_remote_messages(self) -> int:
         return sum(self.sent_remote)
 
+    @property
+    def total_received_logical(self) -> int:
+        return sum(self.received_logical)
+
+    @property
+    def total_received_network(self) -> int:
+        return sum(self.received_network)
+
+    def ledger(self) -> Dict[str, int]:
+        """The superstep's message books, as one dict.
+
+        Delivery charges receives when sends are consumed, so on every
+        execution path the books must balance; see
+        :meth:`ledger_balanced` for the invariants.
+        """
+        return {
+            "sent_logical": self.total_messages,
+            "received_logical": self.total_received_logical,
+            "sent_network": self.total_network_messages,
+            "received_network": self.total_received_network,
+            "sent_remote": self.total_remote_messages,
+        }
+
+    def ledger_balanced(self) -> bool:
+        """Do the message books balance for this superstep?
+
+        Invariants (independent of execution path, combiner, faults
+        and mutations — dropped messages have their charges reversed):
+
+        * every logical send was received: ``sent == received``
+          (logical), likewise for network messages;
+        * combining only ever reduces traffic:
+          ``network <= logical``;
+        * remote messages are a subset of logical sends:
+          ``remote <= logical``.
+        """
+        sent = self.total_messages
+        return (
+            sent == self.total_received_logical
+            and self.total_network_messages
+            == self.total_received_network
+            and self.total_network_messages <= sent
+            and self.total_remote_messages <= sent
+        )
+
     def cost(self, model: BSPCostModel) -> float:
         """The BSP charge ``max(w, g*h, L)`` for this superstep."""
         return model.superstep_cost(self.w, self.h)
@@ -173,6 +218,13 @@ class RunStats:
     def max_imbalance(self) -> float:
         """Worst per-superstep work imbalance over the run."""
         return max((s.imbalance() for s in self.supersteps), default=1.0)
+
+    def ledger_balanced(self) -> bool:
+        """Do the message books balance in every committed superstep?
+
+        See :meth:`SuperstepStats.ledger_balanced`.
+        """
+        return all(s.ledger_balanced() for s in self.supersteps)
 
     # -- fault-tolerance derived quantities ----------------------------
 

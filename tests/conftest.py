@@ -4,12 +4,56 @@ from __future__ import annotations
 
 import pytest
 
+from repro.algorithms.bfs_tree import BFSTree
+from repro.algorithms.cc_hashmin import HashMinComponents
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SingleSourceShortestPaths
+from repro.algorithms.wcc import WeaklyConnectedComponents
 from repro.graph import (
     connected_erdos_renyi_graph,
     erdos_renyi_graph,
     path_graph,
     random_tree,
 )
+
+# ---------------------------------------------------------------------
+# The canonical workload set: one entry per core algorithm, with the
+# graph it runs on and the natural combiner for its messages ("sum" /
+# "min", resolvable via repro.bsp.combiner.resolve_combiner).  Shared
+# by the execution-path equivalence suite and any test that wants to
+# sweep "every program we care about".
+# ---------------------------------------------------------------------
+
+_WORKLOAD_UNDIRECTED = erdos_renyi_graph(50, 0.10, seed=2)
+_WORKLOAD_DIRECTED = erdos_renyi_graph(50, 0.08, seed=5, directed=True)
+
+WORKLOADS = [
+    (
+        "pagerank",
+        _WORKLOAD_UNDIRECTED,
+        lambda: PageRank(num_supersteps=12),
+        "sum",
+    ),
+    (
+        "sssp",
+        _WORKLOAD_UNDIRECTED,
+        lambda: SingleSourceShortestPaths(0),
+        "min",
+    ),
+    (
+        "wcc",
+        _WORKLOAD_DIRECTED,
+        lambda: WeaklyConnectedComponents(),
+        "min",
+    ),
+    (
+        "hashmin",
+        _WORKLOAD_UNDIRECTED,
+        lambda: HashMinComponents(),
+        "min",
+    ),
+    ("bfs-tree", _WORKLOAD_UNDIRECTED, lambda: BFSTree(0), "min"),
+]
 
 
 @pytest.fixture

@@ -1,0 +1,303 @@
+"""Execution-path equivalence: the dense fast path vs the reference
+dict path.
+
+The dense-index fast path (slot mailboxes, send-time combining) is a
+pure performance optimization: for every workload, combiner mode and
+fault plan it must produce **byte-identical** results to the reference
+dict-mailbox path — same values, same :class:`RunStats` (both the
+logical and the post-combining network books), same BPPA observation,
+same aggregate history.  The reference path is the oracle; this suite
+is the contract.
+
+Also here: the regression tests for the two satellite fixes that rode
+along with the fast path — worker ``vertex_ids`` compaction on vertex
+removal, and the per-superstep message-ledger balance.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bsp import (
+    PregelEngine,
+    VertexProgram,
+    crash_plan,
+    drop_plan,
+    run_program,
+)
+from repro.bsp.combiner import resolve_combiner
+from repro.graph import erdos_renyi_graph, path_graph
+from tests.conftest import WORKLOADS
+
+# ---------------------------------------------------------------------
+# The equivalence matrix: every workload x combiner mode x fault mode.
+# ---------------------------------------------------------------------
+
+COMBINER_MODES = [
+    ("nocomb", False),
+    ("natural", True),  # the workload's natural Min/Sum combiner
+]
+
+FAULT_MODES = [
+    ("clean", None),
+    ("crash", lambda: crash_plan(superstep=2, worker=1, seed=9)),
+    ("msg-drop", lambda: drop_plan(rate=0.25, seed=9)),
+]
+
+
+def canonical(values) -> bytes:
+    """Byte representation for exact-equality comparison."""
+    return pickle.dumps(
+        sorted(values.items(), key=lambda kv: repr(kv[0]))
+    )
+
+
+def run_path(graph, make_program, combiner_name, make_plan, fast):
+    """Run one workload on one execution path; return (engine, result)."""
+    kwargs = dict(num_workers=4, track_bppa=True, use_fast_path=fast)
+    if combiner_name is not None:
+        kwargs["combiner"] = resolve_combiner(combiner_name)
+    if make_plan is not None:
+        kwargs["checkpoint_interval"] = 2
+        kwargs["fault_plan"] = make_plan()
+    engine = PregelEngine(graph, make_program(), **kwargs)
+    return engine, engine.run()
+
+
+def assert_identical(ref, fast):
+    """The full byte-identity contract between two results."""
+    assert fast.values == ref.values
+    assert canonical(fast.values) == canonical(ref.values)
+    assert fast.stats == ref.stats
+    assert fast.bppa == ref.bppa
+    assert fast.aggregate_history == ref.aggregate_history
+
+
+@pytest.mark.parametrize(
+    "wl_name,graph,make_program,natural",
+    WORKLOADS,
+    ids=[w[0] for w in WORKLOADS],
+)
+@pytest.mark.parametrize(
+    "comb_name,use_combiner",
+    COMBINER_MODES,
+    ids=[c[0] for c in COMBINER_MODES],
+)
+@pytest.mark.parametrize(
+    "fault_name,make_plan", FAULT_MODES, ids=[f[0] for f in FAULT_MODES]
+)
+def test_fast_path_is_byte_identical(
+    wl_name,
+    graph,
+    make_program,
+    natural,
+    comb_name,
+    use_combiner,
+    fault_name,
+    make_plan,
+):
+    combiner_name = natural if use_combiner else None
+    ref_engine, ref = run_path(
+        graph, make_program, combiner_name, make_plan, fast=False
+    )
+    fast_engine, fast = run_path(
+        graph, make_program, combiner_name, make_plan, fast=True
+    )
+    assert_identical(ref, fast)
+    # None of the canonical workloads mutate topology, so the fast
+    # path must stay engaged for the whole run -- including across
+    # crash rollbacks, which restore onto the checkpoint's path.
+    assert fast_engine.fast_path is True
+    assert ref_engine.fast_path is False
+
+
+# ---------------------------------------------------------------------
+# Topology mutations: the fast path must hand off mid-run and still
+# match the reference byte for byte.
+# ---------------------------------------------------------------------
+
+
+class MutateMidRun(VertexProgram):
+    """Removes a vertex (with in-flight messages to it), adds another,
+    then runs a few gossip rounds over the surviving topology."""
+
+    name = "mutate-mid-run"
+
+    def compute(self, v, msgs, ctx):
+        if ctx.superstep == 0:
+            v.value = 0
+            ctx.send_to_neighbors(v, 1)
+            if v.id == 0:
+                ctx.send(3, "doomed")  # dropped at delivery
+                ctx.remove_vertex(3)
+                ctx.add_vertex("late", value=0)
+                ctx.add_edge(0, "late")
+                ctx.add_edge("late", 0)
+        elif ctx.superstep < 4:
+            v.value += sum(m for m in msgs if m != "doomed")
+            ctx.send_to_neighbors(v, 1)
+            ctx.aggregate("total", v.value)
+        else:
+            v.vote_to_halt()
+
+    def aggregators(self):
+        from repro.bsp import SumAggregator
+
+        return {"total": SumAggregator()}
+
+
+def test_mutation_disengages_fast_path_and_still_matches():
+    g = erdos_renyi_graph(24, 0.2, seed=13)
+    ref_engine, ref = run_path(
+        g, MutateMidRun, None, None, fast=False
+    )
+    fast_engine, fast = run_path(
+        g, MutateMidRun, None, None, fast=True
+    )
+    assert_identical(ref, fast)
+    assert fast_engine.fast_path is False  # handed off at the mutation
+    assert 3 not in fast.values
+    assert "late" in fast.values
+
+
+def test_mutation_handoff_matches_under_message_faults():
+    g = erdos_renyi_graph(24, 0.2, seed=13)
+    make_plan = lambda: drop_plan(rate=0.25, seed=9)
+    _, ref = run_path(g, MutateMidRun, None, make_plan, fast=False)
+    fast_engine, fast = run_path(
+        g, MutateMidRun, None, make_plan, fast=True
+    )
+    assert_identical(ref, fast)
+    assert fast_engine.fast_path is False
+
+
+# ---------------------------------------------------------------------
+# Fast-path configuration surface.
+# ---------------------------------------------------------------------
+
+
+def test_fast_path_with_confined_recovery_is_rejected():
+    g = path_graph(4)
+    with pytest.raises(ValueError):
+        PregelEngine(
+            g,
+            MutateMidRun(),
+            confined_recovery=True,
+            use_fast_path=True,
+        )
+
+
+def test_confined_recovery_defaults_to_reference_path():
+    g = path_graph(4)
+    engine = PregelEngine(g, MutateMidRun(), confined_recovery=True)
+    assert engine.fast_path is False
+
+
+def test_fast_path_is_the_default():
+    g = path_graph(4)
+    engine = PregelEngine(g, MutateMidRun())
+    assert engine.fast_path is True
+
+
+# ---------------------------------------------------------------------
+# Satellite regression: worker vertex lists are compacted on removal.
+# ---------------------------------------------------------------------
+
+
+class RemoveOdds(VertexProgram):
+    """Superstep 0 removes every odd vertex; then one gossip round."""
+
+    def compute(self, v, msgs, ctx):
+        if ctx.superstep == 0:
+            if v.id % 2 == 1:
+                ctx.remove_vertex(v.id)
+            else:
+                ctx.send(v.id, "tick")
+        else:
+            v.value = "kept"
+            v.vote_to_halt()
+
+
+def test_vertex_removal_compacts_worker_lists():
+    g = path_graph(20)
+    engine = PregelEngine(g, RemoveOdds(), num_workers=3)
+    result = engine.run()
+    assert set(result.values) == set(range(0, 20, 2))
+    # Regression: removed vertices used to linger in the workers'
+    # vertex_ids lists (skipped each superstep but never reclaimed).
+    assert sum(
+        len(w.vertex_ids) for w in engine._workers
+    ) == len(engine._states)
+    assert set(engine._owner) == set(engine._states)
+
+
+# ---------------------------------------------------------------------
+# Satellite regression: the message ledger balances on both paths.
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "wl_name,graph,make_program,natural",
+    WORKLOADS,
+    ids=[w[0] for w in WORKLOADS],
+)
+@pytest.mark.parametrize("fast", [False, True], ids=["ref", "fast"])
+def test_ledger_balances_with_combiner(
+    wl_name, graph, make_program, natural, fast
+):
+    engine, result = run_path(
+        graph, make_program, natural, None, fast=fast
+    )
+    assert result.stats.ledger_balanced()
+
+
+def test_ledger_pins_combining_split():
+    # PageRank on a connected-ish graph with a Sum combiner: every
+    # logical send is received, and combining strictly reduces the
+    # network count below the logical count (many vertices share a
+    # destination worker).
+    graph = WORKLOADS[0][1]
+    _, result = run_path(
+        graph, WORKLOADS[0][2], "sum", None, fast=True
+    )
+    stats = result.stats
+    assert stats.ledger_balanced()
+    busy = [
+        s
+        for s in stats.supersteps
+        if s.total_messages > 0
+    ]
+    assert busy, "PageRank sent no messages?"
+    for s in busy:
+        ledger = s.ledger()
+        assert ledger["sent_logical"] == ledger["received_logical"]
+        assert ledger["sent_network"] == ledger["received_network"]
+        assert ledger["sent_remote"] <= ledger["sent_logical"]
+    assert stats.total_network_messages < stats.total_messages
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["ref", "fast"])
+def test_ledger_balances_when_mutation_drops_messages(fast):
+    # Messages to a vertex removed in the same superstep are dropped
+    # at delivery with their send charges reversed -- the books must
+    # still balance (and on the fast path this exercises the
+    # removed-destination reversal in the dense deliver).
+    g = erdos_renyi_graph(24, 0.2, seed=13)
+    engine, result = run_path(g, MutateMidRun, None, None, fast=fast)
+    assert result.stats.ledger_balanced()
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["ref", "fast"])
+def test_ledger_balances_under_faults(fast):
+    # Retransmitted/duplicated traffic is accounted in the recovery
+    # books (RunStats counters), never in the per-superstep ledger.
+    graph = WORKLOADS[0][1]
+    engine, result = run_path(
+        graph,
+        WORKLOADS[0][2],
+        "sum",
+        lambda: drop_plan(rate=0.25, seed=9),
+        fast=fast,
+    )
+    assert result.stats.ledger_balanced()
+    assert result.stats.retransmitted_messages > 0
