@@ -210,3 +210,14 @@ def test_bandwidth_parameter_raises_tpp(benchmark):
     tpps = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"\nTPP at g=1,4,16: {[round(t) for t in tpps]}")
     assert tpps[0] <= tpps[1] <= tpps[2]
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

@@ -90,3 +90,14 @@ def test_slow_network_raises_cost(benchmark):
     # Per-worker times never improve under the slower network.
     for f, s in zip(fast.points, slow.points):
         assert s.bsp_time >= f.bsp_time
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

@@ -20,12 +20,27 @@ fast path fails to beat the reference by the given factor on PageRank;
 CI runs a quarter-scale smoke with a floor of 1.0 (fast must at least
 not be slower), while the committed full-scale ``BENCH_engine.json``
 documents the >= 3x acceptance result.
+
+``--parallel`` switches to the process-parallel backend sweep: for
+each worker count in ``--workers`` it runs the serial fast path and
+the :mod:`repro.bsp.parallel` backend at the same ``num_workers``,
+asserts byte-identical fingerprints, and reports wall-clock seconds
+plus the host CPU count (the committed ``BENCH_parallel.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --parallel --workers 1,2,4 --out BENCH_parallel.json
+
+The achievable speedup is bounded by the host: on a single-core
+container the parallel backend pays IPC for no extra CPU, which the
+report records honestly (``host_cpu_count``).  Use
+``--min-parallel-speedup`` to enforce a floor on capable hosts.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pickle
 import sys
 import time
@@ -34,7 +49,8 @@ from repro.algorithms.cc_hashmin import HashMinComponents
 from repro.algorithms.pagerank import PageRank
 from repro.algorithms.sssp import SingleSourceShortestPaths
 from repro.algorithms.wcc import WeaklyConnectedComponents
-from repro.bsp import MinCombiner, PregelEngine, SumCombiner
+from repro.bsp import MinCombiner, PregelEngine, SumCombiner, create_engine
+from repro.bsp.parallel import default_start_method
 from repro.graph import barabasi_albert_graph
 
 #: Full-scale graph: a Barabasi-Albert graph with ~100k directed
@@ -51,7 +67,7 @@ WORKLOADS = [
 ]
 
 
-def _run(graph, make_program, combiner_cls, fast, repeats):
+def _run(graph, make_program, combiner_cls, fast, repeats, num_workers=4):
     """Best-of-``repeats`` wall-clock run; returns (seconds, result)."""
     best = float("inf")
     result = None
@@ -59,7 +75,7 @@ def _run(graph, make_program, combiner_cls, fast, repeats):
         engine = PregelEngine(
             graph,
             make_program(),
-            num_workers=4,
+            num_workers=num_workers,
             combiner=combiner_cls(),
             track_bppa=False,
             use_fast_path=fast,
@@ -73,6 +89,31 @@ def _run(graph, make_program, combiner_cls, fast, repeats):
     return best, result
 
 
+def _run_backend(graph, make_program, combiner_cls, backend, workers, repeats):
+    """Best-of-``repeats`` run on ``backend``; returns
+    (seconds, result, parallel_supersteps)."""
+    best = float("inf")
+    result = None
+    parallel_supersteps = 0
+    for _ in range(repeats):
+        engine = create_engine(
+            graph,
+            make_program(),
+            backend=backend,
+            num_workers=workers,
+            combiner=combiner_cls(),
+            track_bppa=False,
+        )
+        start = time.perf_counter()
+        res = engine.run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            result = res
+        parallel_supersteps = getattr(engine, "parallel_supersteps", 0)
+    return best, result, parallel_supersteps
+
+
 def _fingerprint(result) -> bytes:
     """Byte-exact digest of everything a run produces."""
     return pickle.dumps(
@@ -84,14 +125,73 @@ def _fingerprint(result) -> bytes:
     )
 
 
-def run_bench(scale: float, repeats: int) -> dict:
+def run_parallel_bench(
+    scale: float, repeats: int, workers_sweep, seed: int
+) -> dict:
+    """Worker-count sweep of the process-parallel backend.
+
+    Serial and parallel are compared at the *same* ``num_workers``
+    (the per-worker stats ledgers must match shape to be
+    byte-comparable); ``speedup`` is serial seconds over parallel
+    seconds at that worker count.
+    """
     n = max(K + 1, int(BASE_N * scale))
-    graph = barabasi_albert_graph(n, K, seed=1)
+    graph = barabasi_albert_graph(n, K, seed=seed)
     report = {
         "scale": scale,
         "n": graph.num_vertices,
         "edges": graph.num_edges,
         "k": K,
+        "seed": seed,
+        "repeats": repeats,
+        "workers_sweep": list(workers_sweep),
+        "host_cpu_count": os.cpu_count(),
+        "mp_start_method": default_start_method(),
+        "python": sys.version.split()[0],
+        "workloads": {},
+    }
+    for name, make_program, combiner_cls in WORKLOADS:
+        entry = {}
+        for workers in workers_sweep:
+            serial_s, serial, _ = _run_backend(
+                graph, make_program, combiner_cls,
+                "serial", workers, repeats,
+            )
+            par_s, par, psteps = _run_backend(
+                graph, make_program, combiner_cls,
+                "parallel", workers, repeats,
+            )
+            if _fingerprint(serial) != _fingerprint(par):
+                raise AssertionError(
+                    f"{name} @ {workers} workers: parallel backend "
+                    "diverged from serial"
+                )
+            entry[str(workers)] = {
+                "serial_seconds": round(serial_s, 4),
+                "parallel_seconds": round(par_s, 4),
+                "speedup": round(serial_s / par_s, 2),
+                "parallel_supersteps": psteps,
+                "identical": True,
+            }
+            print(
+                f"{name:>10} @ {workers} workers: serial "
+                f"{serial_s:7.3f}s  parallel {par_s:7.3f}s  "
+                f"speedup {serial_s / par_s:5.2f}x  "
+                f"(identical results)"
+            )
+        report["workloads"][name] = entry
+    return report
+
+
+def run_bench(scale: float, repeats: int, seed: int = 1) -> dict:
+    n = max(K + 1, int(BASE_N * scale))
+    graph = barabasi_albert_graph(n, K, seed=seed)
+    report = {
+        "scale": scale,
+        "n": graph.num_vertices,
+        "edges": graph.num_edges,
+        "k": K,
+        "seed": seed,
         "repeats": repeats,
         "num_workers": 4,
         "python": sys.version.split()[0],
@@ -135,6 +235,12 @@ def main(argv=None) -> int:
         help="timing repeats per cell (best-of)",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="graph-generation seed (default 1, the committed bench)",
+    )
+    parser.add_argument(
         "--out", default=None, help="write the JSON report here"
     )
     parser.add_argument(
@@ -143,14 +249,54 @@ def main(argv=None) -> int:
         default=None,
         help="exit non-zero if the PageRank speedup is below this",
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="sweep the process-parallel backend over --workers "
+        "instead of the fast-path/reference comparison",
+    )
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts for the --parallel sweep",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=None,
+        help="with --parallel: exit non-zero if the PageRank speedup "
+        "at the largest worker count is below this (only meaningful "
+        "on a multi-core host)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_bench(args.scale, args.repeats)
+    if args.parallel:
+        workers_sweep = [
+            int(w) for w in args.workers.split(",") if w.strip()
+        ]
+        report = run_parallel_bench(
+            args.scale, args.repeats, workers_sweep, args.seed
+        )
+    else:
+        report = run_bench(args.scale, args.repeats, args.seed)
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=False)
             fh.write("\n")
         print(f"wrote {args.out}")
+
+    if args.parallel:
+        if args.min_parallel_speedup is not None:
+            top = str(max(int(w) for w in report["workers_sweep"]))
+            speedup = report["workloads"]["pagerank"][top]["speedup"]
+            if speedup < args.min_parallel_speedup:
+                print(
+                    f"FAIL: parallel PageRank speedup {speedup:.2f}x "
+                    f"at {top} workers is below the required "
+                    f"{args.min_parallel_speedup:.2f}x"
+                )
+                return 1
+        return 0
 
     if args.min_pagerank_speedup is not None:
         speedup = report["workloads"]["pagerank"]["speedup"]

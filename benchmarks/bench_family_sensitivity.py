@@ -144,3 +144,14 @@ def test_easy_family_matching_still_correct(benchmark):
 
     assert is_maximal_matching(g, edges)
     assert is_maximal_matching(g, baseline)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

@@ -111,3 +111,14 @@ def test_sssp_paradigms_agree(benchmark):
     pregel, gas = benchmark.pedantic(run, rounds=1, iterations=1)
     for v in graph.vertices():
         assert pregel.values[v] == gas.values[v]
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

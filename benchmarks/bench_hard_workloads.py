@@ -195,3 +195,14 @@ def test_triangles_er_vs_sequential(benchmark):
     ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print(f"\nER triangles work ratio by n: {ratios}")
     assert all(r > 0.5 for r in ratios)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

@@ -127,3 +127,14 @@ def _report_sweep():
             f"{row['replayed']:>8} {row['replay_cost']:>9.1f} "
             f"{row['overhead']:>9.3f} {row['total_time']:>11.1f}"
         )
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

@@ -104,3 +104,14 @@ def test_list_ranking_rounds_and_messages(benchmark):
         assert msgs <= 6 * n * math.log2(n)  # O(n log n)
     # Superlinear: the log factor is real.
     assert growth_exponent(sizes, messages) > 1.02
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

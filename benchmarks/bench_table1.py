@@ -143,3 +143,14 @@ def test_row19_dual_simulation(benchmark):
 
 def test_row20_strong_simulation(benchmark):
     _regenerate(benchmark, 20)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: running this module directly must be
+    # guarded so multiprocessing children that re-import __main__
+    # (spawn start method) do not recursively launch the benches.
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, *sys.argv[1:]]))

@@ -52,6 +52,9 @@ class LubyMISColoring(VertexProgram):
     """
 
     name = "luby-mis-coloring"
+    # Draws coin flips from the run's shared RNG stream, whose
+    # consumption order is inherently sequential across workers.
+    parallel_safe = False
 
     def __init__(self):
         self.step = _SELECT

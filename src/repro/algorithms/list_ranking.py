@@ -29,6 +29,11 @@ from repro.bsp.vertex import VertexState
 from repro.graph.graph import Graph
 
 
+def _unit_value(_vid: Hashable) -> float:
+    """Default ``val(v)`` = 1: plain ranking by position."""
+    return 1
+
+
 class ListRanking(VertexProgram):
     """Pointer-jumping list ranking.
 
@@ -47,7 +52,11 @@ class ListRanking(VertexProgram):
         self,
         values: Optional[Callable[[Hashable], float]] = None,
     ):
-        self._val = values if values is not None else (lambda _vid: 1)
+        # Module-level default (not a closure): the program must be
+        # picklable so the process-parallel backend can ship it to
+        # worker processes.  A caller-supplied lambda still works —
+        # the backend then degrades to the serial path.
+        self._val = values if values is not None else _unit_value
 
     def initial_value(self, vertex_id, graph) -> Dict[str, Any]:
         preds = list(graph.neighbors(vertex_id))

@@ -51,6 +51,9 @@ class BipartiteMatching(VertexProgram):
     """
 
     name = "bipartite-matching"
+    # Picks random requesters/grants from the run's shared RNG
+    # stream, whose consumption order is sequential across workers.
+    parallel_safe = False
 
     def initial_value(self, vertex_id, graph) -> Dict[str, Any]:
         avail: Set[Hashable] = (

@@ -44,7 +44,20 @@ from repro.bsp.block import (
     BlockView,
     run_blocks,
 )
-from repro.bsp.engine import PregelEngine, PregelResult, run_program
+from repro.bsp.engine import (
+    BACKENDS,
+    PregelEngine,
+    PregelResult,
+    create_engine,
+    get_default_backend,
+    run_program,
+    set_default_backend,
+)
+from repro.bsp.parallel import (
+    ParallelBackend,
+    ParallelPregelEngine,
+    default_start_method,
+)
 from repro.bsp.gas import (
     GASEngine,
     GASProgram,
@@ -83,9 +96,16 @@ __all__ = [
     "SumCombiner",
     "ComputeContext",
     "MasterContext",
+    "BACKENDS",
     "PregelEngine",
     "PregelResult",
+    "ParallelBackend",
+    "ParallelPregelEngine",
+    "create_engine",
+    "default_start_method",
+    "get_default_backend",
     "run_program",
+    "set_default_backend",
     "AsyncEngine",
     "AsyncResult",
     "run_async",

@@ -268,6 +268,10 @@ def restore_checkpoint(engine, checkpoint: Checkpoint) -> None:
         engine._tracker.observation = dataclasses.replace(
             checkpoint.bppa_observation
         )
+    # Backends with external execution state (the process-parallel
+    # pool keeps a live copy of every partition in its worker
+    # processes) resynchronize it against the restored engine here.
+    engine._post_restore_sync()
 
 
 def restore_partition(engine, checkpoint: Checkpoint, worker: int) -> int:

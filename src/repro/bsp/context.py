@@ -16,6 +16,15 @@ class ComputeContext:
     One instance is reused across all vertices of a superstep; the
     engine rebinds it per vertex so the per-vertex send/charge counters
     feed the BPPA tracker.  Programs should treat it as opaque API.
+
+    ``engine`` is anything implementing the narrow engine contract the
+    context consumes: ``_enqueue`` / ``_fanout`` / ``_aggregate``,
+    ``num_vertices``, and an ``rng`` attribute.  Besides
+    :class:`~repro.bsp.engine.PregelEngine` this is implemented by the
+    per-process partition runtime of the parallel backend
+    (:mod:`repro.bsp.parallel`), which runs ``compute()`` against its
+    own accumulator state and ships the effects back to the
+    coordinator.
     """
 
     def __init__(self, engine):
@@ -49,6 +58,21 @@ class ComputeContext:
         self._current_vertex = vertex
         self._sent = 0
         self._charged = 0.0
+
+    def _take_mutations(self) -> Optional[MutationLog]:
+        """Detach and return the superstep's mutation log, or ``None``
+        when no mutation was requested.
+
+        Used by the parallel backend's partition workers to ship their
+        local logs to the coordinator, which splices them together in
+        worker-rank order — reproducing exactly the append order the
+        serial engine's single shared log would have seen.
+        """
+        log = self._mutations
+        if log.is_empty():
+            return None
+        self._mutations = MutationLog()
+        return log
 
     # -- global read-only views ----------------------------------------
 

@@ -31,10 +31,13 @@ the simulated reliable-delivery layer, so *any* faulted run that
 completes produces byte-identical values to the fault-free run; only
 the cost accounting (``RunStats.recovery_overhead``) differs.
 
-Two execution paths (``docs/performance.md``)
----------------------------------------------
+Execution paths (``docs/performance.md``, ``docs/parallel_backend.md``)
+-----------------------------------------------------------------------
 
-The engine owns two interchangeable implementations of its hot loop:
+The engine owns two interchangeable implementations of its hot loop
+(a third — real process parallelism over the dense layout — lives in
+:mod:`repro.bsp.parallel` and is selected with ``backend="parallel"``
+via :func:`create_engine`/:func:`run_program`):
 
 * the **reference dict path** — hashable-keyed ``_inbox``/``_outbox``
   dicts, one ``(src_worker, message)`` tuple per logical message,
@@ -62,6 +65,7 @@ from __future__ import annotations
 
 import operator
 import random
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Set
@@ -89,7 +93,7 @@ from repro.graph.graph import Graph
 from repro.graph.partition import HashPartitioner, build_dense_index
 from repro.metrics.bppa import BppaObservation, BppaTracker
 from repro.metrics.cost_model import BSPCostModel
-from repro.metrics.stats import RunStats, SuperstepStats
+from repro.metrics.stats import RunStats, SuperstepStats, SuperstepWall
 
 
 @dataclass
@@ -164,6 +168,10 @@ class PregelEngine:
         ``confined_recovery``.  Either way the first applied topology
         mutation permanently falls back to the reference path.
     """
+
+    #: Which execution backend this engine class implements; the
+    #: process-parallel subclass overrides it with ``"parallel"``.
+    backend_name = "serial"
 
     def __init__(
         self,
@@ -696,6 +704,14 @@ class PregelEngine:
             self._inbox = defaultdict(list)
             self._outbox = defaultdict(list)
 
+    def _post_restore_sync(self) -> None:
+        """Hook invoked by :func:`~repro.bsp.checkpoint.
+        restore_checkpoint` after a full rollback has rebuilt the
+        engine state.  The serial engine needs nothing; the process-
+        parallel backend overrides this to push the restored
+        partitions back out to its worker processes (respawning any
+        that were killed by an injected crash)."""
+
     def _inbox_snapshot_items(self):
         """``(vertex_id, messages)`` pairs of the undelivered inbox in
         delivery order, independent of mailbox layout.  Used by
@@ -844,6 +860,17 @@ class PregelEngine:
         stats.supersteps.append(
             self._superstep_stats(superstep, active_count)
         )
+        stats.record_wall(
+            SuperstepWall(
+                superstep=superstep,
+                compute_seconds=[
+                    w.wall_seconds for w in self._workers
+                ],
+                barrier_seconds=[
+                    w.barrier_seconds for w in self._workers
+                ],
+            )
+        )
 
         if master._halt:
             return True
@@ -864,6 +891,7 @@ class PregelEngine:
         states = self._states
         active_count = 0
         for worker in self._workers:
+            seg_start = time.perf_counter()
             for vid in worker.vertex_ids:
                 state = states.get(vid)
                 if state is None:
@@ -889,6 +917,7 @@ class PregelEngine:
                         ops,
                         program.state_size(state),
                     )
+            worker.wall_seconds = time.perf_counter() - seg_start
         return active_count
 
     def _compute_pass_fast(self, wake_all: bool) -> int:
@@ -913,6 +942,7 @@ class PregelEngine:
         self._stamp += 1
         active_count = 0
         for worker in self._workers:
+            seg_start = time.perf_counter()
             self._cur_worker = worker
             self._cur_src = worker.index
             self._acc = accs[worker.index]
@@ -947,6 +977,7 @@ class PregelEngine:
             worker.work = work
             if self._acc_touched:
                 self._flush_worker_sends()
+            worker.wall_seconds = time.perf_counter() - seg_start
         for idx in self._in_dirty:
             in_slots[idx] = None
         self._in_dirty = []
@@ -1365,15 +1396,81 @@ class PregelEngine:
         return delivered
 
 
+# ---------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------
+
+#: Names accepted by :func:`create_engine` / ``run_program(backend=)``.
+BACKENDS = ("serial", "parallel")
+
+_default_backend = "serial"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the engine backend used when none is passed explicitly.
+
+    ``"serial"`` (the default and the correctness oracle) executes the
+    logical workers one after another in-process; ``"parallel"``
+    executes them as real OS processes (:mod:`repro.bsp.parallel`)
+    with byte-identical results.  Threaded through the CLI as
+    ``repro-table1 --backend``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+        )
+    global _default_backend
+    _default_backend = backend
+
+
+def get_default_backend() -> str:
+    """The backend :func:`create_engine` uses when none is given."""
+    return _default_backend
+
+
+def create_engine(
+    graph: Graph,
+    program: VertexProgram,
+    backend: Optional[str] = None,
+    **engine_kwargs,
+) -> "PregelEngine":
+    """Build an engine on the requested execution backend.
+
+    ``backend=None`` uses :func:`get_default_backend`.  The parallel
+    backend transparently degrades to serial execution whenever real
+    process parallelism cannot be byte-identical (confined recovery,
+    ``use_fast_path=False``, programs flagged ``parallel_safe=False``
+    — see ``docs/parallel_backend.md``), so selecting it is always
+    safe.
+    """
+    backend = backend or _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+        )
+    if backend == "parallel":
+        from repro.bsp.parallel import ParallelPregelEngine
+
+        return ParallelPregelEngine(graph, program, **engine_kwargs)
+    return PregelEngine(graph, program, **engine_kwargs)
+
+
 def run_program(
-    graph: Graph, program: VertexProgram, **engine_kwargs
+    graph: Graph,
+    program: VertexProgram,
+    backend: Optional[str] = None,
+    **engine_kwargs,
 ) -> PregelResult:
     """Convenience wrapper: build an engine and run ``program``.
 
     All :class:`PregelEngine` keyword arguments pass through —
-    including the fault-tolerance surface::
+    including the fault-tolerance surface — plus ``backend`` to pick
+    the execution backend (:func:`create_engine`)::
 
         run_program(g, PageRank(), checkpoint_interval=5,
                     fault_plan=crash_plan(superstep=7))
+        run_program(g, PageRank(), backend="parallel", num_workers=4)
     """
-    return PregelEngine(graph, program, **engine_kwargs).run()
+    return create_engine(
+        graph, program, backend=backend, **engine_kwargs
+    ).run()

@@ -1,0 +1,908 @@
+"""Process-parallel execution backend for the Pregel engine.
+
+:class:`ParallelPregelEngine` runs the dense fast path's per-worker
+compute loops in **real OS processes** (one per simulated worker) while
+keeping every observable byte of a run — ``PregelResult.values``,
+``RunStats``, BPPA observations, the aggregate history, and the fault
+draw sequence — identical to the serial
+:class:`~repro.bsp.engine.PregelEngine`, which remains the default
+backend and the correctness oracle (``docs/parallel_backend.md``).
+
+Architecture
+------------
+
+The coordinator (this process) stays authoritative: it owns the full
+vertex-state dict, the mailboxes, aggregators, RNG, checkpoint store
+and fault injector, exactly as the serial engine does.  Only the
+*compute pass* of a superstep is farmed out:
+
+* at pool start every worker rank receives its dense partition — the
+  ``[range_start, range_stop)`` slice of vertex states, the compiled
+  dense adjacency, the shared ``idx_of``/``owner_of`` tables, the
+  program, the combiner, and the run RNG state;
+* each superstep the coordinator ships ``(superstep, wake_all,
+  finalized aggregates, this rank's inbound slots, program state if it
+  changed)`` to every rank, and each rank runs **the same compute loop
+  as the serial fast path** (:class:`_PartitionRuntime` mirrors
+  ``_enqueue_fast`` / ``_fanout_fast`` & co. line for line) against
+  its private accumulator arrays;
+* the coordinator then collects the per-rank effect sets **in fixed
+  worker-rank order** and replays them into its own engine state: new
+  vertex values and halted flags, per-``(rank, destination)``
+  accumulator slots, first-touch destination order, aggregator
+  contributions, BPPA tracker rows, mutation logs, and the per-worker
+  counters.
+
+Because the serial engine *also* executes workers in rank order, the
+rank-ordered merge reconstructs exactly the global send order, the
+``_out_dirty`` first-touch order (= the reference outbox's key
+insertion order, which fixes the fault-injection draw sequence), the
+aggregator reduce order (contributions are replayed through
+``engine._aggregate`` on the coordinator, so even non-associative
+reducers see the serial order), and the mutation-log append order.
+Delivery, combining at delivery, master compute, mutation application,
+checkpointing, and recovery all run the *unchanged* serial code on the
+coordinator — there is nothing left to diverge.
+
+Degrading to serial
+-------------------
+
+Real parallelism cannot be byte-identical when compute breaks
+partition isolation, so the backend degrades to the serial path (it
+*is* a ``PregelEngine``; degrading just means never consulting the
+pool) instead of returning different bytes:
+
+* programs flagged ``parallel_safe = False``, ``use_fast_path=False``,
+  or ``confined_recovery`` — decided up front, the pool never spawns;
+* an unpicklable program or a worker pipe failure — the pool is
+  abandoned and the superstep re-executes serially;
+* **RNG consumption**: each rank compares its RNG state before and
+  after the pass.  Any draw means the program consumed the run's
+  shared sequential stream, so the whole superstep's results are
+  discarded, the pool shuts down permanently, and the superstep
+  re-executes serially from the coordinator's (untouched) state;
+* **topology mutation**: the serial engine already disengages the
+  dense path at the first applied mutation; the override also shuts
+  the pool down, and the reference dict path carries on serially.
+
+Fault tolerance
+---------------
+
+Injected crashes become *real* process deaths: ``_recover`` kills the
+crashed rank's OS process before running the stock rollback, and the
+``_post_restore_sync`` hook (called by ``restore_checkpoint``)
+respawns dead ranks from a fresh partition snapshot and reloads the
+restored values into surviving ranks.  The dense index recompiled by
+the restore is identical to the pool's (topology cannot have changed
+while the pool is alive), so adjacency is never reshipped.
+
+Wall-clock speedup is real but bounded by the host:
+``RunStats.wall`` records per-rank compute seconds and barrier wait —
+measurements excluded from the byte-identity contract — and
+``benchmarks/bench_engine.py --parallel`` sweeps worker counts into
+``BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import operator
+import pickle
+import random
+import time
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.bsp.context import ComputeContext
+from repro.bsp.combiner import SumCombiner
+from repro.bsp.engine import PregelEngine, PregelResult
+from repro.bsp.vertex import VertexState
+from repro.errors import MessageToUnknownVertexError
+from repro.graph.graph import Graph
+from repro.bsp.program import VertexProgram
+
+#: Pickle protocol for all pool traffic and for the program-state
+#: change detection blobs (highest = fastest, and both sides of every
+#: comparison use the same protocol).
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+def default_start_method() -> str:
+    """``"fork"`` where available (cheap: the child inherits loaded
+    modules), else ``"spawn"``.  Both are supported and tested; pass
+    ``mp_start_method="spawn"`` to force the portable one."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# ---------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------
+
+
+class _PartitionRuntime:
+    """One rank's resident partition plus the narrow engine contract
+    :class:`~repro.bsp.context.ComputeContext` consumes.
+
+    The send/fanout methods below mirror the serial engine's
+    ``_enqueue_fast`` / ``_enqueue_fast_combining`` / ``_fanout_fast``
+    / ``_fanout_fast_combining`` exactly — same slot occupancy
+    encoding, same ``operator.add`` specialization for the stock
+    :class:`SumCombiner`, same dense full-neighbor fanout branch, same
+    partial-count commit on an unknown-target raise — so a vertex's
+    observable effects are bit-for-bit what the serial pass would have
+    produced.  Only the *location* of the accumulator differs: it is
+    this rank's private array instead of ``engine._accs[rank]``, and
+    the coordinator loads it into ``engine._accs[rank]`` afterwards.
+    """
+
+    def __init__(self, rank: int, init: Dict[str, Any]):
+        self.rank = rank
+        self.num_vertices: int = init["num_vertices"]
+        self.idx_of: Dict[Hashable, int] = init["idx_of"]
+        self.owner_of: List[int] = init["owner_of"]
+        self.range_start, self.range_stop = init["range"]
+        self.program: VertexProgram = init["program"]
+        self.combiner = init["combiner"]
+        self.track_bppa: bool = init["track_bppa"]
+        self.agg_names = frozenset(init["agg_names"])
+        self.rng = random.Random()
+        self.rng.setstate(init["rng_state"])
+        self._rng_baseline = init["rng_state"]
+        # My slice of the compiled dense adjacency, indexed by local
+        # offset (dense idx - range_start).
+        self.dense_out: List[Optional[List[int]]] = init["dense_out"]
+        self.remote_out: List[int] = init["remote_out"]
+        self.states: List[VertexState] = []
+        self._load_states(init["states"])
+        n = self.num_vertices
+        self.acc: List[Any] = [None] * n
+        self.cnt: Optional[List[int]] = (
+            [0] * n if self.combiner is not None else None
+        )
+        self.acc_touched: List[int] = []
+        self.out_pending = 0
+        self.sent_logical = 0
+        self.sent_remote = 0
+        self.agg_log: List[Tuple[str, Any]] = []
+        self._cur_off = 0
+        if self.combiner is not None:
+            # Same SumCombiner specialization as the serial engine.
+            if type(self.combiner) is SumCombiner:
+                self._combine = operator.add
+            else:
+                self._combine = self.combiner.combine
+            self._enqueue = self._enqueue_combining
+            self._fanout = self._fanout_combining
+        # (plain-path _enqueue/_fanout are the class methods)
+        self.ctx = ComputeContext(self)
+
+    def _load_states(self, snaps) -> None:
+        states = []
+        for vid, value, out_edges, in_edges, halted in snaps:
+            state = VertexState(
+                vid,
+                value=value,
+                out_edges=out_edges,
+                in_edges=out_edges if in_edges is None else in_edges,
+            )
+            state.halted = halted
+            states.append(state)
+        self.states = states
+
+    # -- engine contract (ComputeContext) ---------------------------
+
+    def _enqueue(self, source, target, message) -> None:
+        dst = self.idx_of.get(target)
+        if dst is None:
+            raise MessageToUnknownVertexError(target)
+        bucket = self.acc[dst]
+        if bucket is None:
+            self.acc[dst] = [message]
+            self.acc_touched.append(dst)
+        else:
+            bucket.append(message)
+        self.out_pending += 1
+        self.sent_logical += 1
+        if self.owner_of[dst] != self.rank:
+            self.sent_remote += 1
+
+    def _enqueue_combining(self, source, target, message) -> None:
+        dst = self.idx_of.get(target)
+        if dst is None:
+            raise MessageToUnknownVertexError(target)
+        cnt = self.cnt
+        c = cnt[dst]
+        if c:
+            self.acc[dst] = self._combine(self.acc[dst], message)
+            cnt[dst] = c + 1
+        else:
+            self.acc[dst] = message
+            cnt[dst] = 1
+            self.acc_touched.append(dst)
+        self.out_pending += 1
+        self.sent_logical += 1
+        if self.owner_of[dst] != self.rank:
+            self.sent_remote += 1
+
+    def _fanout(self, source, targets, message) -> int:
+        off = self._cur_off
+        acc = self.acc
+        touched = self.acc_touched
+        nbrs = self.dense_out[off]
+        if (
+            nbrs is not None
+            and targets is self.states[off].out_edges
+        ):
+            for dst in nbrs:
+                bucket = acc[dst]
+                if bucket is None:
+                    acc[dst] = [message]
+                    touched.append(dst)
+                else:
+                    bucket.append(message)
+            n = len(nbrs)
+            self.sent_logical += n
+            self.sent_remote += self.remote_out[off]
+            self.out_pending += n
+            return n
+        idx_get = self.idx_of.get
+        owner_of = self.owner_of
+        rank = self.rank
+        n = remote = 0
+        try:
+            for target in targets:
+                dst = idx_get(target)
+                if dst is None:
+                    raise MessageToUnknownVertexError(target)
+                bucket = acc[dst]
+                if bucket is None:
+                    acc[dst] = [message]
+                    touched.append(dst)
+                else:
+                    bucket.append(message)
+                if owner_of[dst] != rank:
+                    remote += 1
+                n += 1
+        finally:
+            # Commit partial counts on an unknown-target raise,
+            # exactly as the serial fast path does.
+            self.sent_logical += n
+            self.sent_remote += remote
+            self.out_pending += n
+        return n
+
+    def _fanout_combining(self, source, targets, message) -> int:
+        off = self._cur_off
+        acc = self.acc
+        cnt = self.cnt
+        touched = self.acc_touched
+        combine = self._combine
+        nbrs = self.dense_out[off]
+        if (
+            nbrs is not None
+            and targets is self.states[off].out_edges
+        ):
+            for dst in nbrs:
+                c = cnt[dst]
+                if c:
+                    acc[dst] = combine(acc[dst], message)
+                    cnt[dst] = c + 1
+                else:
+                    acc[dst] = message
+                    cnt[dst] = 1
+                    touched.append(dst)
+            n = len(nbrs)
+            self.sent_logical += n
+            self.sent_remote += self.remote_out[off]
+            self.out_pending += n
+            return n
+        idx_get = self.idx_of.get
+        owner_of = self.owner_of
+        rank = self.rank
+        n = remote = 0
+        try:
+            for target in targets:
+                dst = idx_get(target)
+                if dst is None:
+                    raise MessageToUnknownVertexError(target)
+                c = cnt[dst]
+                if c:
+                    acc[dst] = combine(acc[dst], message)
+                    cnt[dst] = c + 1
+                else:
+                    acc[dst] = message
+                    cnt[dst] = 1
+                    touched.append(dst)
+                if owner_of[dst] != rank:
+                    remote += 1
+                n += 1
+        finally:
+            self.sent_logical += n
+            self.sent_remote += remote
+            self.out_pending += n
+        return n
+
+    def _aggregate(self, name: str, value: Any) -> None:
+        # Contributions are *recorded*, not reduced: the coordinator
+        # replays them through the real aggregator registry in rank
+        # order, so non-associative reducers see the serial order and
+        # an unknown name raises the same KeyError the registry
+        # lookup would.
+        if name not in self.agg_names:
+            raise KeyError(name)
+        self.agg_log.append((name, value))
+
+    # -- superstep execution ----------------------------------------
+
+    def step(
+        self,
+        superstep: int,
+        wake_all: bool,
+        agg_prev: Dict[str, Any],
+        inbound: List[Tuple[int, List[Any]]],
+        program_state: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Run my slice of one compute pass; return the effect set.
+
+        The loop body is the serial ``_compute_pass_fast`` inner loop
+        verbatim — same visit order, wake/halt transitions, work
+        accounting, and tracker feed.
+        """
+        if program_state is not None:
+            # master_compute mutated the program since the last ship.
+            self.program.__dict__.clear()
+            self.program.__dict__.update(program_state)
+        msgs_of = dict(inbound)
+        ctx = self.ctx
+        ctx._begin_superstep(superstep, agg_prev)
+        program = self.program
+        compute = program.compute
+        state_size = program.state_size
+        begin_vertex = ctx._begin_vertex
+        track = self.track_bppa
+        tracker_rows: Optional[List[Tuple]] = [] if track else None
+        start = self.range_start
+        active = 0
+        work = 0.0
+        executed: List[int] = []
+        for off, state in enumerate(self.states):
+            idx = start + off
+            messages = msgs_of.get(idx)
+            if messages:
+                state.halted = False
+            elif state.halted and not wake_all:
+                continue
+            else:
+                if wake_all:
+                    state.halted = False
+                messages = []
+            active += 1
+            self._cur_off = off
+            begin_vertex(state)
+            compute(state, messages, ctx)
+            ops = 1 + len(messages) + ctx._sent + ctx._charged
+            work += ops
+            executed.append(idx)
+            if track:
+                tracker_rows.append(
+                    (
+                        state.id,
+                        ctx._sent,
+                        len(messages),
+                        ops,
+                        state_size(state),
+                    )
+                )
+        # Detach the touched accumulator slots for shipping.
+        touched = self.acc_touched
+        acc = self.acc
+        payloads = [acc[d] for d in touched]
+        if self.cnt is not None:
+            cnt = self.cnt
+            counts: Optional[List[int]] = [cnt[d] for d in touched]
+            for d in touched:
+                acc[d] = None
+                cnt[d] = 0
+        else:
+            counts = None
+            for d in touched:
+                acc[d] = None
+        self.acc_touched = []
+        rng_state = self.rng.getstate()
+        drew = rng_state != self._rng_baseline
+        self._rng_baseline = rng_state
+        states = self.states
+        resp = {
+            "active": active,
+            "work": work,
+            "sent_logical": self.sent_logical,
+            "sent_remote": self.sent_remote,
+            "pending": self.out_pending,
+            "values": [
+                (idx, states[idx - start].value) for idx in executed
+            ],
+            "halted": [
+                idx for idx in executed if states[idx - start].halted
+            ],
+            "touched": touched,
+            "payloads": payloads,
+            "counts": counts,
+            "aggs": self.agg_log,
+            "tracker": tracker_rows,
+            "mutations": ctx._take_mutations(),
+            "drew": drew,
+        }
+        self.agg_log = []
+        self.sent_logical = 0
+        self.sent_remote = 0
+        self.out_pending = 0
+        return resp
+
+    def reload(self, payload: Dict[str, Any]) -> None:
+        """Adopt post-rollback values/flags (topology is unchanged
+        while the pool is alive, so edges stay resident)."""
+        start = self.range_start
+        states = self.states
+        for idx, value, halted in payload["states"]:
+            state = states[idx - start]
+            state.value = value
+            state.halted = halted
+        self.rng.setstate(payload["rng_state"])
+        self._rng_baseline = payload["rng_state"]
+        self.program.__dict__.clear()
+        self.program.__dict__.update(payload["program_state"])
+
+
+def _worker_main(rank: int, conn) -> None:
+    """Command loop of one pool process (top-level: spawn-safe)."""
+    part: Optional[_PartitionRuntime] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        cmd = msg[0]
+        try:
+            if cmd == "init":
+                part = _PartitionRuntime(rank, msg[1])
+                conn.send(("ready", rank))
+            elif cmd == "step":
+                t0 = time.perf_counter()
+                resp = part.step(*msg[1:])
+                resp["seconds"] = time.perf_counter() - t0
+                conn.send(("ok", resp))
+            elif cmd == "reload":
+                part.reload(msg[1])
+                conn.send(("ready", rank))
+            elif cmd == "stop":
+                conn.close()
+                return
+        except BaseException as exc:  # ship the failure, stay alive
+            try:
+                conn.send(("err", exc))
+            except Exception:
+                conn.send(("err", RuntimeError(repr(exc))))
+
+
+# ---------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------
+
+
+class _WorkerLink:
+    """A pool process and the coordinator's end of its pipe."""
+
+    def __init__(self, mp_ctx, rank: int):
+        self.rank = rank
+        self.conn, child_conn = mp_ctx.Pipe()
+        self.process = mp_ctx.Process(
+            target=_worker_main,
+            args=(rank, child_conn),
+            daemon=True,
+            name=f"repro-bsp-worker-{rank}",
+        )
+        self.process.start()
+        child_conn.close()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Hard-stop the process (used to make an injected crash a
+        real process death)."""
+        try:
+            self.process.terminate()
+            self.process.join(timeout=5)
+        except Exception:
+            pass
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except Exception:
+            pass
+        try:
+            self.process.join(timeout=1)
+        except Exception:
+            pass
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+
+
+class ParallelPregelEngine(PregelEngine):
+    """:class:`PregelEngine` whose fast compute pass runs on a
+    persistent pool of worker processes, one per simulated worker.
+
+    Accepts every ``PregelEngine`` parameter plus:
+
+    mp_start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default
+        :func:`default_start_method`.
+
+    The engine degrades to the byte-identical serial path whenever
+    process parallelism cannot preserve the contract; inspect
+    :attr:`parallel_disabled_reason` / :attr:`parallel_supersteps` to
+    see what a run actually did.
+    """
+
+    backend_name = "parallel"
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: VertexProgram,
+        *args,
+        mp_start_method: Optional[str] = None,
+        **kwargs,
+    ):
+        super().__init__(graph, program, *args, **kwargs)
+        self._mp_method = mp_start_method or default_start_method()
+        self._links: Optional[List[_WorkerLink]] = None
+        self._pool_disabled = False
+        self._program_blob: Optional[bytes] = None
+        #: Supersteps whose compute pass actually ran on the pool.
+        self.parallel_supersteps = 0
+        #: Why the pool is (or became) unused; None while eligible.
+        self.parallel_disabled_reason: Optional[str] = None
+        if not getattr(program, "parallel_safe", True):
+            self._disable_pool("program declares parallel_safe=False")
+        elif not self._fast_enabled:
+            self._disable_pool(
+                "reference execution path forced"
+                if not self._confined_recovery
+                else "confined recovery forces the reference path"
+            )
+
+    # -- pool management --------------------------------------------
+
+    @property
+    def parallel_active(self) -> bool:
+        """True while the process pool is alive."""
+        return self._links is not None
+
+    def _disable_pool(self, reason: str) -> None:
+        self._pool_disabled = True
+        if self.parallel_disabled_reason is None:
+            self.parallel_disabled_reason = reason
+
+    def _init_payload(self, rank: int) -> Dict[str, Any]:
+        dense = self._dense
+        start, stop = dense.ranges[rank]
+        dense_states = self._dense_states
+        snaps = []
+        for idx in range(start, stop):
+            state = dense_states[idx]
+            aliased = state.in_edges is state.out_edges
+            snaps.append(
+                (
+                    state.id,
+                    state.value,
+                    state.out_edges,
+                    None if aliased else state.in_edges,
+                    state.halted,
+                )
+            )
+        return {
+            "num_vertices": len(dense.id_of),
+            "idx_of": dense.idx_of,
+            "owner_of": dense.owner_of,
+            "range": (start, stop),
+            "states": snaps,
+            "dense_out": self._dense_out[start:stop],
+            "remote_out": self._remote_out[start:stop],
+            "program": self._program,
+            "combiner": self._combiner,
+            "track_bppa": self._tracker is not None,
+            "agg_names": sorted(self._aggregators),
+            "rng_state": self.rng.getstate(),
+        }
+
+    def _reload_payload(self, rank: int) -> Dict[str, Any]:
+        dense = self._dense
+        start, stop = dense.ranges[rank]
+        dense_states = self._dense_states
+        return {
+            "states": [
+                (
+                    idx,
+                    dense_states[idx].value,
+                    dense_states[idx].halted,
+                )
+                for idx in range(start, stop)
+            ],
+            "rng_state": self.rng.getstate(),
+            "program_state": getattr(self._program, "__dict__", {}),
+        }
+
+    def _start_pool(self) -> bool:
+        """Spawn one process per worker and ship the partitions.
+        Returns False (and disables the pool) on any failure."""
+        try:
+            self._program_blob = pickle.dumps(
+                getattr(self._program, "__dict__", {}), _PROTO
+            )
+            pickle.dumps(self._program, _PROTO)
+        except Exception as exc:
+            self._disable_pool(f"program not picklable: {exc!r}")
+            return False
+        links: List[_WorkerLink] = []
+        try:
+            mp_ctx = multiprocessing.get_context(self._mp_method)
+            for rank in range(self._num_workers):
+                links.append(_WorkerLink(mp_ctx, rank))
+            for link in links:
+                link.conn.send(("init", self._init_payload(link.rank)))
+            for link in links:
+                reply = link.conn.recv()
+                if reply[0] != "ready":
+                    raise reply[1]
+        except Exception as exc:
+            for link in links:
+                link.kill()
+            self._disable_pool(f"pool startup failed: {exc!r}")
+            return False
+        self._links = links
+        return True
+
+    def _shutdown_pool(self, reason: Optional[str] = None) -> None:
+        """Stop every pool process; with ``reason`` the shutdown is
+        permanent (subsequent supersteps run serially)."""
+        if reason is not None:
+            self._disable_pool(reason)
+        links = self._links
+        if links is None:
+            return
+        self._links = None
+        for link in links:
+            link.stop()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self._shutdown_pool()
+        except Exception:
+            pass
+
+    # -- engine overrides -------------------------------------------
+
+    def run(self) -> PregelResult:
+        try:
+            return super().run()
+        finally:
+            self._shutdown_pool()
+
+    def _compute_pass_fast(self, wake_all: bool) -> int:
+        if self._pool_disabled:
+            return super()._compute_pass_fast(wake_all)
+        if self._links is None and not self._start_pool():
+            return super()._compute_pass_fast(wake_all)
+        return self._compute_pass_parallel(wake_all)
+
+    def _disengage_fast_path(self) -> None:
+        # A topology mutation froze the dense index out from under the
+        # pool; the reference path carries on serially.
+        self._shutdown_pool("topology mutation disengaged fast path")
+        super()._disengage_fast_path()
+
+    def _recover(self, crash, superstep, stats):
+        # Make the injected crash a real process death before the
+        # stock rollback; _post_restore_sync respawns the rank.
+        if self._links is not None:
+            self._links[crash.worker % self._num_workers].kill()
+        return super()._recover(crash, superstep, stats)
+
+    def _post_restore_sync(self) -> None:
+        """Called by ``restore_checkpoint`` after a full rollback:
+        respawn dead ranks with a fresh partition snapshot, reload the
+        restored values into surviving ranks."""
+        links = self._links
+        if links is None:
+            return
+        if not self._fast_active:
+            # Restored onto the reference path: nothing for a pool to
+            # do for the rest of the run.
+            self._shutdown_pool("restored onto the reference path")
+            return
+        try:
+            reload_blob = pickle.dumps(
+                getattr(self._program, "__dict__", {}), _PROTO
+            )
+            mp_ctx = multiprocessing.get_context(self._mp_method)
+            respawned = set()
+            for i, link in enumerate(links):
+                if not link.alive:
+                    link.kill()  # reap the pipe of the dead process
+                    links[i] = _WorkerLink(mp_ctx, link.rank)
+                    respawned.add(link.rank)
+            # Ship: freshly spawned ranks need the full partition,
+            # survivors only the rolled-back values (topology cannot
+            # have changed while the pool is alive).
+            for link in links:
+                if link.rank in respawned:
+                    link.conn.send(
+                        ("init", self._init_payload(link.rank))
+                    )
+                else:
+                    link.conn.send(
+                        ("reload", self._reload_payload(link.rank))
+                    )
+            for link in links:
+                reply = link.conn.recv()
+                if reply[0] != "ready":
+                    raise reply[1]
+            self._program_blob = reload_blob
+        except Exception as exc:
+            self._shutdown_pool(f"post-restore resync failed: {exc!r}")
+
+    # -- the parallel compute pass ----------------------------------
+
+    def _compute_pass_parallel(self, wake_all: bool) -> int:
+        links = self._links
+        dense = self._dense
+        owner_of = dense.owner_of
+        in_slots = self._in_slots
+        # Program state may have been mutated by master_compute since
+        # the last superstep; ship it only when its bytes changed.
+        try:
+            program_state = getattr(self._program, "__dict__", {})
+            blob = pickle.dumps(program_state, _PROTO)
+        except Exception as exc:
+            self._shutdown_pool(
+                f"program state not picklable: {exc!r}"
+            )
+            return super()._compute_pass_fast(wake_all)
+        ship_state = None
+        if blob != self._program_blob:
+            self._program_blob = blob
+            ship_state = program_state
+        inbound: List[List[Tuple[int, List[Any]]]] = [
+            [] for _ in links
+        ]
+        for idx in self._in_dirty:
+            inbound[owner_of[idx]].append((idx, in_slots[idx]))
+        superstep = self._ctx.superstep
+        agg_prev = self._agg_finalized
+        try:
+            for link in links:
+                link.conn.send(
+                    (
+                        "step",
+                        superstep,
+                        wake_all,
+                        agg_prev,
+                        inbound[link.rank],
+                        ship_state,
+                    )
+                )
+            replies = [link.conn.recv() for link in links]
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            # A pool process died outside any fault plan: nothing was
+            # applied, so the coordinator re-executes serially.
+            self._shutdown_pool(f"worker process lost: {exc!r}")
+            return super()._compute_pass_fast(wake_all)
+        for reply in replies:  # rank order = serial raise order
+            if reply[0] == "err":
+                raise reply[1]
+        payloads = [reply[1] for reply in replies]
+        if any(pl["drew"] for pl in payloads):
+            # The program consumed the run's shared RNG stream, whose
+            # draw order is sequential across workers.  Discard the
+            # superstep (nothing was applied; the coordinator RNG is
+            # untouched) and re-execute serially.
+            self._shutdown_pool(
+                "program drew from the shared RNG stream"
+            )
+            return super()._compute_pass_fast(wake_all)
+        return self._apply_parallel_results(payloads)
+
+    def _apply_parallel_results(
+        self, payloads: List[Dict[str, Any]]
+    ) -> int:
+        """Replay the per-rank effect sets into the coordinator's
+        engine state, in fixed rank order (= serial execution order).
+        Everything downstream — delivery, combining, fault draws,
+        master compute — runs the unchanged serial code against this
+        state."""
+        dense_states = self._dense_states
+        tracker = self._tracker
+        workers = self._workers
+        accs = self._accs
+        cnts = self._cnts
+        # Same per-pass stamp discipline as the serial fast pass:
+        # first touches dedup across ranks in rank order, recovering
+        # the reference outbox's key insertion order.
+        self._stamp += 1
+        stamp = self._stamp
+        seen = self._slot_seen
+        dirty = self._out_dirty
+        aggregate = self._aggregate
+        mutation_log = self._ctx._mutations
+        max_seconds = max(pl["seconds"] for pl in payloads)
+        active_count = 0
+        total_pending = 0
+        for rank, pl in enumerate(payloads):
+            worker = workers[rank]
+            worker.work = pl["work"]
+            worker.sent_logical = pl["sent_logical"]
+            worker.sent_remote = pl["sent_remote"]
+            worker.wall_seconds = pl["seconds"]
+            worker.barrier_seconds = max_seconds - pl["seconds"]
+            active_count += pl["active"]
+            total_pending += pl["pending"]
+            for idx, value in pl["values"]:
+                state = dense_states[idx]
+                state.value = value
+                state.halted = False
+            for idx in pl["halted"]:
+                dense_states[idx].halted = True
+            acc = accs[rank]
+            touched = pl["touched"]
+            if cnts is not None:
+                cnt = cnts[rank]
+                for dst, payload, count in zip(
+                    touched, pl["payloads"], pl["counts"]
+                ):
+                    acc[dst] = payload
+                    cnt[dst] = count
+            else:
+                for dst, payload in zip(touched, pl["payloads"]):
+                    acc[dst] = payload
+            for dst in touched:
+                if seen[dst] != stamp:
+                    seen[dst] = stamp
+                    dirty.append(dst)
+            if tracker is not None and pl["tracker"]:
+                for vid, sent, received, ops, size in pl["tracker"]:
+                    tracker.record_vertex(
+                        vid, sent, received, ops, size
+                    )
+            for name, value in pl["aggs"]:
+                aggregate(name, value)
+            mut = pl["mutations"]
+            if mut is not None:
+                mutation_log.remove_edges.extend(mut.remove_edges)
+                mutation_log.remove_vertices.extend(
+                    mut.remove_vertices
+                )
+                mutation_log.add_vertices.extend(mut.add_vertices)
+                mutation_log.add_edges.extend(mut.add_edges)
+        self._out_pending = total_pending
+        in_slots = self._in_slots
+        for idx in self._in_dirty:
+            in_slots[idx] = None
+        self._in_dirty = []
+        self.parallel_supersteps += 1
+        return active_count
+
+
+#: The name the issue/docs use for the backend class.
+ParallelBackend = ParallelPregelEngine

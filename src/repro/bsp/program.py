@@ -29,6 +29,19 @@ class VertexProgram(ABC):
     #: Human-readable name used in reports and error messages.
     name: str = "vertex-program"
 
+    #: Whether the process-parallel backend may execute this program's
+    #: partitions in worker processes.  Declare ``False`` for programs
+    #: whose ``compute`` breaks partition isolation: drawing from the
+    #: run's shared ``ctx.random`` stream (its consumption order is
+    #: inherently sequential across workers), or mutating shared
+    #: program/topology state in place.  The parallel backend then
+    #: degrades to the (byte-identical) serial path up front instead
+    #: of discovering the violation mid-run.  RNG consumption is also
+    #: detected dynamically as a safety net, so leaving this ``True``
+    #: on a randomized program is slow (one discarded superstep) but
+    #: never incorrect.
+    parallel_safe: bool = True
+
     def initial_value(self, vertex_id: Hashable, graph: Graph) -> Any:
         """The value each vertex starts with (default ``None``)."""
         return None

@@ -28,6 +28,8 @@ class Worker:
         "sent_network",
         "received_network",
         "sent_remote",
+        "wall_seconds",
+        "barrier_seconds",
     )
 
     def __init__(self, index: int):
@@ -45,6 +47,13 @@ class Worker:
         self.sent_network = 0
         self.received_network = 0
         self.sent_remote = 0
+        # Measured seconds for the current superstep: time spent in
+        # this worker's compute pass, and time idled at the barrier
+        # waiting for the slowest worker.  Real measurements, not
+        # modeled quantities — they feed RunStats.wall, which is
+        # excluded from the byte-identity contract.
+        self.wall_seconds = 0.0
+        self.barrier_seconds = 0.0
 
     def reset_counters(self) -> None:
         """Zero the per-superstep profile."""
@@ -54,6 +63,8 @@ class Worker:
         self.sent_network = 0
         self.received_network = 0
         self.sent_remote = 0
+        self.wall_seconds = 0.0
+        self.barrier_seconds = 0.0
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (

@@ -55,6 +55,17 @@ def make_parser() -> argparse.ArgumentParser:
         help="also print the figure-analog series (Figs. 2-5 claims)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["serial", "parallel"],
+        default="serial",
+        help=(
+            "engine execution backend: 'serial' (default; the "
+            "in-process oracle) or 'parallel' (real worker "
+            "processes, byte-identical results — see "
+            "docs/parallel_backend.md)"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         action="store_true",
         help=(
@@ -71,6 +82,12 @@ def make_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     started = time.time()
+    if args.backend != "serial":
+        # Every run_program call below (table rows, fault smoke,
+        # figures) now builds its engines on the chosen backend.
+        from repro.bsp.engine import set_default_backend
+
+        set_default_backend(args.backend)
     if args.faults:
         from repro.core.fault_smoke import (
             format_fault_smoke,

@@ -128,6 +128,17 @@ class RecoveryExhaustedError(BSPError, RuntimeError):
         self.attempts = attempts
 
 
+class ParallelBackendError(BSPError, RuntimeError):
+    """The process-parallel backend's worker pool failed irrecoverably.
+
+    Raised only for protocol-level failures (a worker process died in
+    a way that was neither injected by a fault plan nor recoverable by
+    falling back to serial execution).  Ordinary degradations — an
+    unpicklable program, RNG consumption, topology mutation — never
+    raise; they hand execution off to the byte-identical serial path.
+    """
+
+
 class BenchmarkError(ReproError):
     """Base class for errors raised by the benchmark core."""
 

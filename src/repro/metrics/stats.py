@@ -10,9 +10,53 @@ time-processor product ``p * T``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.metrics.cost_model import BSPCostModel
+
+
+@dataclass
+class SuperstepWall:
+    """Measured per-worker wall-clock profile of one superstep.
+
+    Unlike :class:`SuperstepStats` — which records the *modeled* BSP
+    quantities and is byte-identical across execution backends — this
+    is a measurement of real seconds, so it differs run to run and
+    backend to backend.  It lives outside the determinism contract
+    (see :meth:`RunStats.__getstate__`).
+
+    ``compute_seconds[i]`` is the time worker ``i`` spent in its
+    compute pass.  ``barrier_seconds[i]`` is how long worker ``i``
+    idled at the superstep barrier waiting for the slowest worker:
+    ``max_j compute_seconds[j] - compute_seconds[i]``.  On the serial
+    backends workers run one after another, so the barrier column is
+    all zeros and ``compute_seconds`` are the sequential segment
+    times; on the process-parallel backend both columns are real
+    concurrency measurements, which makes the cost model's ``w``
+    imbalance *observable* instead of merely modeled.
+    """
+
+    superstep: int
+    compute_seconds: List[float]
+    barrier_seconds: List[float]
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time the superstep's compute phase occupied: the
+        slowest worker under parallel execution, the sum under serial
+        execution — both equal ``max + barrier`` bookkeeping-wise, so
+        we report the straggler bound."""
+        return max(self.compute_seconds, default=0.0)
+
+    @property
+    def wall_imbalance(self) -> float:
+        """``max_i t_i / mean_i t_i`` over measured compute seconds —
+        the empirical analogue of :meth:`SuperstepStats.imbalance`."""
+        total = sum(self.compute_seconds)
+        if total <= 0.0:
+            return 1.0
+        mean = total / len(self.compute_seconds)
+        return max(self.compute_seconds) / mean
 
 
 @dataclass
@@ -161,6 +205,16 @@ class RunStats:
     cost_model: BSPCostModel = field(default_factory=BSPCostModel)
     supersteps: List[SuperstepStats] = field(default_factory=list)
 
+    #: Measured per-superstep wall-clock profiles (real seconds), or
+    #: ``None`` when the run recorded none.  Excluded from equality
+    #: and from pickling: wall time is a property of the host and the
+    #: execution backend, not of the computation, and the determinism
+    #: contract ("byte-identical RunStats across backends") is over
+    #: the modeled quantities only.
+    wall: Optional[List[SuperstepWall]] = field(
+        default=None, compare=False, repr=False
+    )
+
     # -- fault-tolerance accounting (engine-maintained) ----------------
     #: Checkpoints written over the run.
     checkpoints_written: int = 0
@@ -180,6 +234,41 @@ class RunStats:
     duplicate_messages: int = 0
     #: Supersteps whose barrier stalled waiting for a late packet.
     delay_stalls: int = 0
+
+    def __getstate__(self):
+        # Pickled RunStats drop the wall-clock measurements: two runs
+        # that computed the same answer on different backends (or
+        # hosts) must serialize to the same bytes.  The differential
+        # harness and the bench fingerprints rely on this.
+        state = dict(self.__dict__)
+        state["wall"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("wall", None)
+
+    def record_wall(self, wall: SuperstepWall) -> None:
+        """Append one superstep's measured wall profile."""
+        if self.wall is None:
+            self.wall = []
+        self.wall.append(wall)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total measured compute wall time (straggler-bounded sum
+        over supersteps); 0.0 when nothing was recorded."""
+        if not self.wall:
+            return 0.0
+        return sum(w.elapsed for w in self.wall)
+
+    @property
+    def max_wall_imbalance(self) -> float:
+        """Worst measured per-superstep wall imbalance over the run
+        (1.0 when nothing was recorded)."""
+        if not self.wall:
+            return 1.0
+        return max(w.wall_imbalance for w in self.wall)
 
     @property
     def num_supersteps(self) -> int:

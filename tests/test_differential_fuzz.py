@@ -1,0 +1,169 @@
+"""Differential fuzzing across the three execution paths.
+
+For a deterministic matrix of seeded random graphs x workloads x
+worker counts x fault plans, every case runs three times — on the
+reference dict path, the dense fast path, and the process-parallel
+backend — and all three runs must be **byte-identical**: same values
+(compared per entry through pickle, so identity sharing inside one
+backend cannot mask or fake a difference), same ``RunStats`` ledgers,
+same BPPA observation, same aggregate history.
+
+The matrix is "fuzz" in the sense that every case's graph shape,
+seed, combiner use and fault plan are derived from a per-case RNG —
+but the derivation is deterministic, so a failure reproduces by
+re-running the test id.  Every assertion message carries the full
+recipe (graph generator arguments and seeds included) so a failure
+can also be replayed standalone.
+
+Worker counts include 1 (degenerate pool), 2, 4 and 7 (uneven
+partitions: 7 does not divide the vertex counts).  CI's worker-count
+matrix narrows the sweep via ``REPRO_FUZZ_WORKERS`` (comma-separated
+counts); unset runs all of them.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.bsp import create_engine, crash_plan, drop_plan
+from repro.bsp.combiner import resolve_combiner
+from repro.graph import erdos_renyi_graph
+from tests.conftest import WORKLOADS
+
+WORKER_COUNTS = [1, 2, 4, 7]
+_env = os.environ.get("REPRO_FUZZ_WORKERS")
+if _env:
+    WORKER_COUNTS = [int(w) for w in _env.split(",") if w.strip()]
+
+FAULT_MODES = [
+    ("clean", None),
+    ("crash", lambda: crash_plan(superstep=2, worker=1, seed=9)),
+    ("msg-drop", lambda: drop_plan(rate=0.25, seed=9)),
+]
+
+BACKENDS = ["reference", "fast", "parallel"]
+
+
+def _case_recipe(wl_name: str, workers: int, fault_name: str) -> dict:
+    """Derive one case's graph/combiner recipe deterministically from
+    its coordinates (stable across runs and platforms)."""
+    rnd = random.Random(f"fuzz-{wl_name}-{workers}-{fault_name}")
+    return {
+        "n": rnd.randrange(24, 56),
+        "p": round(rnd.uniform(0.06, 0.18), 3),
+        "graph_seed": rnd.randrange(10**6),
+        "directed": rnd.random() < 0.3,
+        "use_combiner": rnd.random() < 0.5,
+    }
+
+
+def _run_case(graph, make_program, natural, recipe, backend, workers,
+              make_plan):
+    kwargs = dict(num_workers=workers, track_bppa=True, seed=0)
+    if recipe["use_combiner"]:
+        kwargs["combiner"] = resolve_combiner(natural)
+    if make_plan is not None:
+        kwargs["checkpoint_interval"] = 2
+        kwargs["fault_plan"] = make_plan()
+    if backend == "reference":
+        engine = create_engine(
+            graph, make_program(), backend="serial",
+            use_fast_path=False, **kwargs,
+        )
+    elif backend == "fast":
+        engine = create_engine(
+            graph, make_program(), backend="serial",
+            use_fast_path=True, **kwargs,
+        )
+    else:
+        engine = create_engine(
+            graph, make_program(), backend="parallel", **kwargs,
+        )
+    return engine, engine.run()
+
+
+def canonical(result):
+    """Byte-exact, sharing-independent digest of a run.
+
+    ``values`` are pickled entry by entry: pickling the whole dict
+    would let memoized back-references (two entries sharing one
+    object) produce different bytes for equal values depending on
+    which backend materialized them.
+    """
+    return (
+        [
+            (repr(k), pickle.dumps(v))
+            for k, v in sorted(
+                result.values.items(), key=lambda kv: repr(kv[0])
+            )
+        ],
+        pickle.dumps(result.stats),
+        pickle.dumps(result.bppa),
+        [pickle.dumps(h) for h in result.aggregate_history],
+    )
+
+
+@pytest.mark.parametrize(
+    "fault_name,make_plan", FAULT_MODES, ids=[f[0] for f in FAULT_MODES]
+)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize(
+    "wl_name,_graph,make_program,natural",
+    WORKLOADS,
+    ids=[w[0] for w in WORKLOADS],
+)
+def test_differential_fuzz(
+    wl_name, _graph, make_program, natural, workers, fault_name,
+    make_plan,
+):
+    recipe = _case_recipe(wl_name, workers, fault_name)
+    repro = (
+        f"reproduce: erdos_renyi_graph(n={recipe['n']}, "
+        f"p={recipe['p']}, seed={recipe['graph_seed']}, "
+        f"directed={recipe['directed']}); workload={wl_name}, "
+        f"num_workers={workers}, fault={fault_name}, "
+        f"combiner={'natural' if recipe['use_combiner'] else 'none'}, "
+        f"engine seed=0"
+    )
+    graph = erdos_renyi_graph(
+        recipe["n"],
+        recipe["p"],
+        seed=recipe["graph_seed"],
+        directed=recipe["directed"],
+    )
+    results = {}
+    engines = {}
+    for backend in BACKENDS:
+        engines[backend], results[backend] = _run_case(
+            graph, make_program, natural, recipe, backend, workers,
+            make_plan,
+        )
+    ref = results["reference"]
+    ref_canon = canonical(ref)
+    for backend in BACKENDS[1:]:
+        got = results[backend]
+        assert got.values == ref.values, f"{backend} values; {repro}"
+        assert got.stats == ref.stats, f"{backend} stats; {repro}"
+        assert got.bppa == ref.bppa, f"{backend} bppa; {repro}"
+        assert got.aggregate_history == ref.aggregate_history, (
+            f"{backend} aggregate history; {repro}"
+        )
+        assert canonical(got) == ref_canon, (
+            f"{backend} canonical bytes; {repro}"
+        )
+    # The ledgers must balance on every path, not just match.
+    for backend, result in results.items():
+        assert result.stats.ledger_balanced(), f"{backend}; {repro}"
+    # The canonical workloads never mutate topology or draw RNG, so
+    # the pool must have run every superstep (the parallel run must
+    # not silently degrade to serial and pass the comparison that
+    # way).
+    par = engines["parallel"]
+    assert par.parallel_disabled_reason is None, repro
+    # >= because crash plans re-execute rolled-back supersteps on the
+    # pool too.
+    assert par.parallel_supersteps >= ref.stats.num_supersteps, repro
