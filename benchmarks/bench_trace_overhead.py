@@ -1,0 +1,223 @@
+"""Wall-clock overhead of the trace layer.
+
+The trace layer's design promise is that a run *without* a recorder
+pays only one ``is None`` check per emission site — disabled tracing
+must be free.  This harness measures three configurations of the
+``bench_engine`` PageRank workload (same graph, same engine config)
+on the dense fast path:
+
+* **disabled** — no recorder attached (the default for every existing
+  caller);
+* **enabled** — a :class:`~repro.trace.recorder.TraceRecorder`
+  attached via ``trace=``;
+* **baseline** — the disabled-trace seconds from a
+  ``BENCH_engine.json`` produced on the *same host* (``--baseline``),
+  so CI can fail if the disabled path regresses against the engine
+  bench.  Cross-host comparisons of wall seconds are meaningless;
+  regenerate the baseline on the measuring host first, as
+  ``.github/workflows/ci.yml`` does.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --scale 0.25 --out /tmp/base.json
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py \
+        --scale 0.25 --baseline /tmp/base.json --max-overhead 0.05
+
+``--max-overhead 0.05`` exits non-zero when disabled-trace seconds
+exceed the baseline's fast-path seconds by more than 5%.
+``--max-enabled-overhead`` optionally bounds the *enabled* cost too
+(informational by default: recording real events is allowed to cost
+something).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+import time
+
+from repro.algorithms.pagerank import PageRank
+from repro.bsp import PregelEngine, SumCombiner
+from repro.graph import barabasi_albert_graph
+from repro.trace import TraceRecorder
+
+#: Mirrors benchmarks/bench_engine.py so the --baseline comparison is
+#: apples to apples.
+BASE_N = 12_500
+K = 8
+
+
+def _fingerprint(result) -> bytes:
+    return pickle.dumps(
+        (
+            sorted(result.values.items()),
+            result.stats,
+            result.aggregate_history,
+        )
+    )
+
+
+def _run(graph, repeats: int, trace):
+    """Best-of-``repeats`` PageRank run; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        engine = PregelEngine(
+            graph,
+            PageRank(num_supersteps=10),
+            num_workers=4,
+            combiner=SumCombiner(),
+            track_bppa=False,
+            use_fast_path=True,
+            trace=trace,
+        )
+        start = time.perf_counter()
+        res = engine.run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            result = res
+    return best, result
+
+
+def run_bench(scale: float, repeats: int, seed: int = 1) -> dict:
+    n = max(K + 1, int(BASE_N * scale))
+    graph = barabasi_albert_graph(n, K, seed=seed)
+    disabled_s, disabled = _run(graph, repeats, trace=None)
+    recorder = TraceRecorder(capacity=1_000_000)
+    enabled_s, enabled = _run(graph, repeats, trace=recorder)
+    if _fingerprint(disabled) != _fingerprint(enabled):
+        raise AssertionError(
+            "attaching a recorder changed the run's results"
+        )
+    report = {
+        "scale": scale,
+        "n": graph.num_vertices,
+        "edges": graph.num_edges,
+        "k": K,
+        "seed": seed,
+        "repeats": repeats,
+        "num_workers": 4,
+        "python": sys.version.split()[0],
+        "disabled_seconds": round(disabled_s, 4),
+        "enabled_seconds": round(enabled_s, 4),
+        "enabled_overhead": round(enabled_s / disabled_s - 1.0, 4),
+        "events_recorded": recorder.emitted,
+        "identical": True,
+    }
+    print(
+        f"trace off {disabled_s:7.3f}s  on {enabled_s:7.3f}s  "
+        f"overhead {report['enabled_overhead']:+.1%}  "
+        f"({recorder.emitted} events, identical results)"
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="graph-size multiplier on the full-scale n=%d" % BASE_N,
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per cell (best-of)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="graph-generation seed (default 1, matching bench_engine)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "a BENCH_engine.json from THIS host; its pagerank "
+            "fast_seconds is the no-trace reference the disabled "
+            "path is held to"
+        ),
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        help=(
+            "with --baseline: exit non-zero when disabled-trace "
+            "seconds exceed baseline fast seconds by more than this "
+            "fraction (e.g. 0.05 = 5%%)"
+        ),
+    )
+    parser.add_argument(
+        "--max-enabled-overhead",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero when enabled-trace seconds exceed "
+            "disabled-trace seconds by more than this fraction"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.scale, args.repeats, args.seed)
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        if base.get("scale") != args.scale or base.get("seed") != args.seed:
+            print(
+                "FAIL: baseline was measured at scale="
+                f"{base.get('scale')} seed={base.get('seed')}, not "
+                f"scale={args.scale} seed={args.seed} — regenerate "
+                "it on this host with matching parameters"
+            )
+            return 1
+        base_s = base["workloads"]["pagerank"]["fast_seconds"]
+        ratio = report["disabled_seconds"] / base_s
+        report["baseline_seconds"] = base_s
+        report["disabled_vs_baseline"] = round(ratio - 1.0, 4)
+        print(
+            f"disabled vs baseline: {base_s:7.3f}s -> "
+            f"{report['disabled_seconds']:7.3f}s  ({ratio - 1.0:+.1%})"
+        )
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.baseline and args.max_overhead is not None:
+        if report["disabled_vs_baseline"] > args.max_overhead:
+            print(
+                "FAIL: disabled-trace path is "
+                f"{report['disabled_vs_baseline']:+.1%} vs the "
+                f"engine-bench baseline (limit "
+                f"{args.max_overhead:+.1%})"
+            )
+            return 1
+    if args.max_enabled_overhead is not None:
+        if report["enabled_overhead"] > args.max_enabled_overhead:
+            print(
+                "FAIL: enabled-trace path costs "
+                f"{report['enabled_overhead']:+.1%} over disabled "
+                f"(limit {args.max_enabled_overhead:+.1%})"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,13 +23,20 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Set
 
 from repro.bsp.gas import GASProgram, NeighborView
-from repro.errors import SuperstepLimitExceeded
 from repro.graph.graph import Graph
 
 
 @dataclass
 class AsyncResult:
-    """Answers plus the async engine's cost counters."""
+    """Answers plus the async engine's cost counters.
+
+    ``converged`` is True when the scheduler queue drained (a genuine
+    fixpoint) and False when the run stopped at ``max_updates`` — in
+    that case ``values`` and the counters reflect the partial
+    computation at the moment the budget ran out, so callers can
+    inspect how far a capped run got instead of losing everything to
+    an exception.
+    """
 
     values: Dict[Hashable, Any]
     updates: int
@@ -53,11 +60,21 @@ class AsyncEngine:
         program: GASProgram,
         max_updates: int = 10_000_000,
     ):
+        if max_updates < 0:
+            raise ValueError(
+                f"max_updates must be >= 0, got {max_updates}"
+            )
         self._graph = graph
         self._program = program
         self._max_updates = max_updates
 
     def run(self) -> AsyncResult:
+        """Execute to the fixpoint, or to the ``max_updates`` budget.
+
+        A run that exhausts its budget returns the partial result with
+        ``converged=False`` (it does not raise), so the update/read/
+        signal counters of the truncated schedule are preserved.
+        """
         graph = self._graph
         program = self._program
         values: Dict[Hashable, Any] = {
@@ -73,11 +90,11 @@ class AsyncEngine:
         edge_reads = 0
         signals = 0
 
+        converged = True
         while queue:
             if updates >= self._max_updates:
-                raise SuperstepLimitExceeded(
-                    self._max_updates, program.name
-                )
+                converged = False
+                break
             v = queue.popleft()
             queued.discard(v)
             total = program.identity()
@@ -109,7 +126,7 @@ class AsyncEngine:
             updates=updates,
             edge_reads=edge_reads,
             signals=signals,
-            converged=True,
+            converged=converged,
         )
 
 

@@ -214,13 +214,19 @@ def take_checkpoint(engine, superstep: int) -> Checkpoint:
     )
 
 
-def restore_checkpoint(engine, checkpoint: Checkpoint) -> None:
+def restore_checkpoint(
+    engine, checkpoint: Checkpoint, discarded_supersteps: int = 0
+) -> None:
     """Rewind ``engine`` to ``checkpoint`` (full rollback).
 
     Everything the snapshot captured is put back — vertex states,
     ownership, inbox, aggregators, RNG, tracker — so re-execution from
     ``checkpoint.superstep`` is byte-for-byte identical to the
     original (crash-free) execution of those supersteps.
+
+    ``discarded_supersteps`` is how many committed supersteps the
+    caller threw away to get here; it is carried on the ``Rollback``
+    trace event when the engine has a recorder attached.
     """
     from repro.bsp.vertex import VertexState  # local: avoid cycle
 
@@ -272,6 +278,18 @@ def restore_checkpoint(engine, checkpoint: Checkpoint) -> None:
     # pool keeps a live copy of every partition in its worker
     # processes) resynchronize it against the restored engine here.
     engine._post_restore_sync()
+    trace = getattr(engine, "_trace", None)
+    if trace is not None:
+        from repro.trace.events import Rollback  # local: avoid cycle
+
+        trace.emit(
+            Rollback(
+                superstep=checkpoint.superstep,
+                restored_vertices=len(checkpoint.vertices),
+                confined=False,
+                discarded_supersteps=discarded_supersteps,
+            )
+        )
 
 
 def restore_partition(engine, checkpoint: Checkpoint, worker: int) -> int:

@@ -94,6 +94,17 @@ from repro.graph.partition import HashPartitioner, build_dense_index
 from repro.metrics.bppa import BppaObservation, BppaTracker
 from repro.metrics.cost_model import BSPCostModel
 from repro.metrics.stats import RunStats, SuperstepStats, SuperstepWall
+from repro.trace.events import (
+    Barrier,
+    CheckpointWrite,
+    FaultInjected,
+    Handoff,
+    Rollback,
+    SuperstepEnd,
+    SuperstepStart,
+    WorkerProfile,
+)
+from repro.trace.recorder import TraceRecorder, get_default_trace
 
 
 @dataclass
@@ -167,6 +178,15 @@ class PregelEngine:
         fast path; raises :class:`ValueError` when combined with
         ``confined_recovery``.  Either way the first applied topology
         mutation permanently falls back to the reference path.
+    trace:
+        A :class:`~repro.trace.recorder.TraceRecorder` to receive the
+        run's structured events (superstep lifecycle, per-worker
+        profiles, checkpoint writes, rollbacks, injected faults, path
+        handoffs — see :mod:`repro.trace`).  ``None`` (default) falls
+        back to the process-wide recorder set via
+        :func:`~repro.trace.recorder.set_default_trace`, and tracing
+        is off when neither is set — every emission site guards on a
+        single ``None``-check, so an untraced run pays nothing else.
     """
 
     #: Which execution backend this engine class implements; the
@@ -189,6 +209,7 @@ class PregelEngine:
         max_recovery_attempts: int = 3,
         confined_recovery: bool = False,
         use_fast_path: Optional[bool] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         self._graph = graph
         self._program = program
@@ -196,6 +217,7 @@ class PregelEngine:
         self._combiner = combiner
         self._cost_model = cost_model or BSPCostModel()
         self._max_supersteps = max_supersteps
+        self._trace = trace if trace is not None else get_default_trace()
         self.rng = random.Random(seed)
 
         partitioner = partitioner or HashPartitioner(num_workers)
@@ -801,6 +823,18 @@ class PregelEngine:
         self._exec_counts[superstep] = (
             self._exec_counts.get(superstep, 0) + 1
         )
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                SuperstepStart(
+                    superstep=superstep,
+                    execution=self._exec_counts[superstep],
+                    path=(
+                        "fast" if self._fast_active else "reference"
+                    ),
+                    backend=self.backend_name,
+                )
+            )
 
         for w in self._workers:
             w.reset_counters()
@@ -847,6 +881,16 @@ class PregelEngine:
                 # The frozen dense index no longer matches the
                 # topology: hand the undelivered inbox to the
                 # reference path and stay there.
+                if trace is not None:
+                    trace.emit(
+                        Handoff(
+                            superstep=superstep,
+                            from_path="fast",
+                            to_path="reference",
+                            reason="topology mutation froze the "
+                            "dense index",
+                        )
+                    )
                 self._disengage_fast_path()
         else:
             delivered = self._deliver(superstep)
@@ -857,9 +901,8 @@ class PregelEngine:
             # from ``removed`` by _apply_mutations).
             for vid in removed:
                 self._owner.pop(vid, None)
-        stats.supersteps.append(
-            self._superstep_stats(superstep, active_count)
-        )
+        entry = self._superstep_stats(superstep, active_count)
+        stats.supersteps.append(entry)
         stats.record_wall(
             SuperstepWall(
                 superstep=superstep,
@@ -871,6 +914,46 @@ class PregelEngine:
                 ],
             )
         )
+        if trace is not None:
+            # The barrier block: per-worker profiles in rank order
+            # (on the parallel backend the coordinator filled the
+            # Worker objects from the rank payloads in rank order, so
+            # the merged stream is deterministic), the h-relation, and
+            # the committed superstep's cost attribution.
+            for w in self._workers:
+                trace.emit(
+                    WorkerProfile(
+                        superstep=superstep,
+                        worker=w.index,
+                        work=w.work,
+                        sent_logical=w.sent_logical,
+                        received_logical=w.received_logical,
+                        sent_network=w.sent_network,
+                        received_network=w.received_network,
+                        sent_remote=w.sent_remote,
+                        wall_seconds=w.wall_seconds,
+                        barrier_seconds=w.barrier_seconds,
+                    )
+                )
+            trace.emit(
+                Barrier(
+                    superstep=superstep,
+                    h=entry.h,
+                    delivered=delivered,
+                )
+            )
+            trace.emit(
+                SuperstepEnd(
+                    superstep=superstep,
+                    active_vertices=active_count,
+                    w=entry.w,
+                    h=entry.h,
+                    cost=entry.cost(self._cost_model),
+                    binding=entry.binding_term(self._cost_model),
+                    checkpoint_cost=entry.checkpoint_cost,
+                    execution=entry.executions,
+                )
+            )
 
         if master._halt:
             return True
@@ -1019,6 +1102,12 @@ class PregelEngine:
         stats.checkpoint_cost += cost
         self._ckpt_costs[superstep] = cost
         self._mutated_since_checkpoint = False
+        if self._trace is not None:
+            self._trace.emit(
+                CheckpointWrite(
+                    superstep=superstep, size=ckpt.size, cost=cost
+                )
+            )
         if self._confined_recovery:
             # Logged messages before the checkpoint can never be
             # replayed again; reclaim them.
@@ -1044,6 +1133,15 @@ class PregelEngine:
         """
         attempts = self._crash_counts.get(superstep, 0) + 1
         self._crash_counts[superstep] = attempts
+        if self._trace is not None:
+            self._trace.emit(
+                FaultInjected(
+                    superstep=superstep,
+                    fault="crash",
+                    worker=crash.worker % self._num_workers,
+                    attempt=attempts,
+                )
+            )
         if attempts > self._max_recovery_attempts:
             raise RecoveryExhaustedError(superstep, attempts) from crash
         ckpt = self._ckpt_store.latest
@@ -1069,7 +1167,9 @@ class PregelEngine:
             stats.replay_cost += entry.cost(self._cost_model)
         stats.supersteps_replayed += len(discarded)
         del stats.supersteps[ckpt.superstep:]
-        restore_checkpoint(self, ckpt)
+        restore_checkpoint(
+            self, ckpt, discarded_supersteps=len(discarded)
+        )
         return ckpt.superstep
 
     def _confined_replay(
@@ -1090,7 +1190,15 @@ class PregelEngine:
         does not touch the committed superstep stats.
         """
         worker_idx = crash.worker % self._num_workers
-        restore_partition(self, ckpt, worker_idx)
+        restored = restore_partition(self, ckpt, worker_idx)
+        if self._trace is not None:
+            self._trace.emit(
+                Rollback(
+                    superstep=superstep,
+                    restored_vertices=restored,
+                    confined=True,
+                )
+            )
         worker = self._workers[worker_idx]
         program = self._program
         ctx = ComputeContext(self)
@@ -1289,6 +1397,16 @@ class PregelEngine:
             self._message_log[superstep + 1] = log_entry
         if injector is not None:
             injector.commit(faults, self._run_stats)
+            if self._trace is not None and faults.any:
+                self._trace.emit(
+                    FaultInjected(
+                        superstep=superstep,
+                        fault="network",
+                        retransmitted=faults.retransmitted,
+                        duplicated=faults.duplicated,
+                        delayed=faults.delayed,
+                    )
+                )
         self._outbox = defaultdict(list)
         return delivered
 
@@ -1393,6 +1511,16 @@ class PregelEngine:
         self._out_pending = 0
         if injector is not None:
             injector.commit(faults, self._run_stats)
+            if self._trace is not None and faults.any:
+                self._trace.emit(
+                    FaultInjected(
+                        superstep=superstep,
+                        fault="network",
+                        retransmitted=faults.retransmitted,
+                        duplicated=faults.duplicated,
+                        delayed=faults.delayed,
+                    )
+                )
         return delivered
 
 

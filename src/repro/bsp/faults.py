@@ -146,6 +146,14 @@ class DeliveryFaults:
         """Did any late packet stall the superstep barrier?"""
         return self.delayed > 0
 
+    @property
+    def any(self) -> bool:
+        """Did the network misbehave at all this superstep?  Guards
+        the engine's ``FaultInjected`` trace emission."""
+        return bool(
+            self.retransmitted or self.duplicated or self.delayed
+        )
+
     def absorb(self, other: "DeliveryFaults") -> None:
         """Accumulate another batch's outcomes into this one.
 

@@ -99,6 +99,7 @@ from repro.bsp.vertex import VertexState
 from repro.errors import MessageToUnknownVertexError
 from repro.graph.graph import Graph
 from repro.bsp.program import VertexProgram
+from repro.trace.events import Handoff
 
 #: Pickle protocol for all pool traffic and for the program-state
 #: change detection blobs (highest = fastest, and both sides of every
@@ -594,6 +595,21 @@ class ParallelPregelEngine(PregelEngine):
         self._pool_disabled = True
         if self.parallel_disabled_reason is None:
             self.parallel_disabled_reason = reason
+            if self._trace is not None:
+                # Degradations are backend-specific by nature, so the
+                # Handoff event is excluded from cross-backend
+                # modeled-trace equality; -1 marks a degradation
+                # decided before the first superstep ran.
+                self._trace.emit(
+                    Handoff(
+                        superstep=getattr(
+                            self._ctx, "superstep", -1
+                        ),
+                        from_path="parallel",
+                        to_path="serial",
+                        reason=reason,
+                    )
+                )
 
     def _init_payload(self, rank: int) -> Dict[str, Any]:
         dense = self._dense

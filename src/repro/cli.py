@@ -1,11 +1,17 @@
-"""Command-line entry point: regenerate Table 1 from a terminal.
+"""Command-line entry points.
 
-Installed as ``repro-table1``::
+``repro-table1`` regenerates Table 1::
 
     repro-table1                  # the full table
     repro-table1 --rows 3 4 10   # selected rows
     repro-table1 --scale 0.5     # smaller sweeps (quick look)
     repro-table1 --details       # per-row sweeps and factors
+    repro-table1 --trace out.jsonl   # also capture the trace stream
+
+``repro-trace`` reports on a captured trace::
+
+    repro-trace out.jsonl         # census, cost attribution,
+                                  # straggler profile, faults
 """
 
 from __future__ import annotations
@@ -66,6 +72,16 @@ def make_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "record the structured trace stream of every run "
+            "(superstep lifecycle, per-worker profiles, checkpoint "
+            "writes, rollbacks, injected faults) to PATH as JSON "
+            "lines; inspect it with repro-trace"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         action="store_true",
         help=(
@@ -88,34 +104,93 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bsp.engine import set_default_backend
 
         set_default_backend(args.backend)
-    if args.faults:
-        from repro.core.fault_smoke import (
-            format_fault_smoke,
-            run_fault_smoke,
+    recorder = None
+    if args.trace:
+        # Every engine constructed below adopts the process-wide
+        # recorder, so each run's events land in one stream without
+        # threading a kwarg through the algorithm wrappers.
+        from repro.trace import TraceRecorder, set_default_trace
+
+        recorder = TraceRecorder(capacity=1_000_000)
+        set_default_trace(recorder)
+    try:
+        if args.faults:
+            from repro.core.fault_smoke import (
+                format_fault_smoke,
+                run_fault_smoke,
+            )
+
+            results = run_fault_smoke(
+                seed=args.seed, scale=args.scale
+            )
+            print(format_fault_smoke(results))
+            elapsed = time.time() - started
+            print(
+                f"(smoke finished in {elapsed:.1f}s)",
+                file=sys.stderr,
+            )
+            return 0
+        table = build_table(
+            seed=args.seed, rows=args.rows, scale=args.scale
         )
+        if args.details:
+            print(format_report(table))
+        else:
+            print(format_table(table))
+        if args.figures:
+            from repro.core.figures import all_figures, format_series
 
-        results = run_fault_smoke(seed=args.seed, scale=args.scale)
-        print(format_fault_smoke(results))
-        elapsed = time.time() - started
-        print(f"(smoke finished in {elapsed:.1f}s)", file=sys.stderr)
-        return 0
-    table = build_table(
-        seed=args.seed, rows=args.rows, scale=args.scale
-    )
-    if args.details:
-        print(format_report(table))
-    else:
-        print(format_table(table))
-    if args.figures:
-        from repro.core.figures import all_figures, format_series
+            print()
+            for series in all_figures():
+                print(format_series(series))
+    finally:
+        if recorder is not None:
+            from repro.trace import set_default_trace
 
-        print()
-        for series in all_figures():
-            print(format_series(series))
+            set_default_trace(None)
+            written = recorder.to_jsonl(args.trace)
+            note = f"(trace: {written} events -> {args.trace}"
+            if recorder.dropped:
+                note += (
+                    f"; {recorder.dropped} oldest events dropped by "
+                    "the ring buffer"
+                )
+            print(note + ")", file=sys.stderr)
     elapsed = time.time() - started
     print(f"(regenerated in {elapsed:.1f}s)", file=sys.stderr)
     # Row 14's divergence is a documented finding (see
     # EXPERIMENTS.md), not a failure — always exit cleanly.
+    return 0
+
+
+def make_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Report on a trace captured with 'repro-table1 --trace' "
+            "or run_program(trace=...): event census, per-superstep "
+            "cost attribution (which of w / g*h / L was binding), "
+            "per-worker straggler profile, and fault/recovery "
+            "timeline."
+        ),
+    )
+    parser.add_argument(
+        "path", help="trace file (JSON lines) to report on"
+    )
+    return parser
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    args = make_trace_parser().parse_args(argv)
+    from repro.core.report import format_trace_report
+    from repro.trace import read_jsonl
+
+    try:
+        events = read_jsonl(args.path)
+    except OSError as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 1
+    print(format_trace_report(events))
     return 0
 
 

@@ -1,10 +1,24 @@
-"""Plain-text rendering of the regenerated Table 1."""
+"""Plain-text rendering of the regenerated Table 1 and of captured
+trace streams (``repro-trace``)."""
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import List, Sequence
 
 from repro.core.table1 import Table1Row
+from repro.trace.attribution import (
+    breakdowns_from_events,
+    format_attribution,
+)
+from repro.trace.events import (
+    FaultInjected,
+    Handoff,
+    Rollback,
+    TraceEvent,
+)
+from repro.trace.recorder import stats_from_events
+from repro.trace.straggler import format_straggler
 
 
 def _yn(flag: bool) -> str:
@@ -89,3 +103,78 @@ def format_report(rows: Sequence[Table1Row]) -> str:
         parts.extend(format_row_lines(row))
         parts.append("")
     return "\n".join(parts)
+
+
+def format_trace_report(events: Sequence[TraceEvent]) -> str:
+    """Render a captured trace stream as a human-readable report.
+
+    Four sections: the event census, the per-superstep cost
+    attribution (which term of ``max(w, g*h, L)`` was binding), the
+    per-worker straggler profile reconstructed from the committed
+    worker profiles, and — when the run was faulted — the injected
+    faults, rollbacks and path handoffs.
+
+    A trace may span several runs (``repro-table1 --trace`` captures
+    every row's sweeps into one recorder); the attribution and
+    straggler sections then describe the *last* run in the stream,
+    because superstep numbering restarts at each run and only the
+    final run's blocks survive the last-execution-wins grouping.
+    """
+    if not events:
+        return "(empty trace)"
+    parts: List[str] = []
+
+    census = Counter(e.kind for e in events)
+    parts.append("== event census ==")
+    for kind, count in sorted(census.items()):
+        parts.append(f"  {kind:<18} {count}")
+    parts.append("")
+
+    breakdowns = breakdowns_from_events(events)
+    if breakdowns:
+        parts.append("== cost attribution (last run) ==")
+        parts.append(format_attribution(breakdowns))
+        parts.append("")
+
+    supersteps = stats_from_events(events)
+    if supersteps:
+        parts.append("== straggler profile (last run) ==")
+        parts.append(format_straggler(supersteps))
+        parts.append("")
+
+    faults = [e for e in events if isinstance(e, FaultInjected)]
+    rollbacks = [e for e in events if isinstance(e, Rollback)]
+    handoffs = [e for e in events if isinstance(e, Handoff)]
+    if faults or rollbacks or handoffs:
+        parts.append("== faults and recovery ==")
+        for e in faults:
+            if e.fault == "crash":
+                parts.append(
+                    f"  crash: worker {e.worker} at superstep "
+                    f"{e.superstep} (attempt {e.attempt})"
+                )
+            else:
+                parts.append(
+                    f"  network at superstep {e.superstep}: "
+                    f"{e.retransmitted} retransmitted, "
+                    f"{e.duplicated} duplicated, {e.delayed} delayed"
+                )
+        for e in rollbacks:
+            mode = "confined" if e.confined else "full"
+            parts.append(
+                f"  {mode} rollback to superstep {e.superstep}: "
+                f"{e.restored_vertices} vertices restored, "
+                f"{e.discarded_supersteps} supersteps discarded"
+            )
+        for e in handoffs:
+            at = (
+                f"superstep {e.superstep}"
+                if e.superstep >= 0
+                else "startup"
+            )
+            parts.append(
+                f"  handoff {e.from_path} -> {e.to_path} at {at}: "
+                f"{e.reason}"
+            )
+        parts.append("")
+    return "\n".join(parts).rstrip()

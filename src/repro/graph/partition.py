@@ -4,16 +4,83 @@ Pregel's default is hash partitioning; the engine accepts any callable
 ``vertex_id -> worker_index``.  The partitioners here matter for the
 cost model: the per-worker local work ``w_i`` and message counts
 ``s_i / r_i`` that enter ``max(w, g·h, L)`` depend on the assignment.
+
+Determinism contract
+--------------------
+
+Every partitioner here is a pure function of ``(vertex_id,
+num_workers)`` — in particular, none of them consults Python's builtin
+``hash()``, whose value for ``str``/``bytes`` ids is randomized by
+``PYTHONHASHSEED`` and therefore differs between runs and between
+spawn-started worker processes.  :func:`stable_hash` provides the
+seed-stable replacement (CRC-32 over a canonical byte encoding), with
+int ids mapped to themselves so contiguous int ids keep the familiar
+round-robin layout the committed bench baselines were produced with.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 from repro.graph.graph import Graph
 
 Partitioner = Callable[[Hashable], int]
+
+
+def _canonical_bytes(value: Hashable) -> bytes:
+    """A canonical, type-tagged byte encoding of a vertex id.
+
+    Injective across the id types the repo uses (ints, strings,
+    bytes, floats, None, and tuples thereof — e.g. the ``("L", i)``
+    bipartite tags and the ``(u, v)`` tree-edge ids); anything else
+    falls back to ``repr``, which is stable for the builtin types.
+    """
+    if value is None:
+        return b"n"
+    if isinstance(value, bool):
+        return b"o1" if value else b"o0"
+    if isinstance(value, int):
+        return b"i" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"f" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"b" + value
+    if isinstance(value, tuple):
+        parts = [_canonical_bytes(item) for item in value]
+        return (
+            b"t"
+            + str(len(parts)).encode("ascii")
+            + b"("
+            + b"|".join(parts)
+            + b")"
+        )
+    if isinstance(value, frozenset):
+        parts = sorted(_canonical_bytes(item) for item in value)
+        return b"z(" + b"|".join(parts) + b")"
+    return b"r" + repr(value).encode("utf-8")
+
+
+def stable_hash(vertex: Hashable) -> int:
+    """A ``PYTHONHASHSEED``-independent hash for vertex ids.
+
+    Unlike builtin ``hash()`` — whose ``str``/``bytes`` values are
+    salted per interpreter, so the same workload could partition
+    differently across runs and across spawn-started rank processes —
+    this is a pure function of the id: CRC-32 over
+    :func:`_canonical_bytes`.  Ints (the common case, and the one the
+    committed bench baselines use) map to themselves, so
+    ``stable_hash(i) % p`` keeps the round-robin layout builtin
+    ``hash()`` gave for small non-negative ints.
+    """
+    if isinstance(vertex, bool):
+        return int(vertex)
+    if isinstance(vertex, int):
+        return vertex
+    return zlib.crc32(_canonical_bytes(vertex)) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -72,11 +139,13 @@ def build_dense_index(workers: Sequence) -> DenseIndex:
 
 
 class HashPartitioner:
-    """Pregel's default: ``hash(vertex) mod p``.
+    """Pregel's default: ``stable_hash(vertex) mod p``.
 
-    Python's ``hash`` of an int is the int itself, which on contiguous
-    ids gives a round-robin assignment — a reasonable stand-in for the
-    random hashing clusters use, and deterministic across runs.
+    :func:`stable_hash` of an int is the int itself, which on
+    contiguous ids gives a round-robin assignment — a reasonable
+    stand-in for the random hashing clusters use — and its string/
+    tuple hashing is ``PYTHONHASHSEED``-independent, so the assignment
+    is identical across runs and across worker processes.
     """
 
     def __init__(self, num_workers: int):
@@ -85,7 +154,7 @@ class HashPartitioner:
         self.num_workers = num_workers
 
     def __call__(self, vertex: Hashable) -> int:
-        return hash(vertex) % self.num_workers
+        return stable_hash(vertex) % self.num_workers
 
 
 class RangePartitioner:
@@ -107,7 +176,9 @@ class RangePartitioner:
         }
 
     def __call__(self, vertex: Hashable) -> int:
-        return self._assignment.get(vertex, hash(vertex) % self.num_workers)
+        return self._assignment.get(
+            vertex, stable_hash(vertex) % self.num_workers
+        )
 
 
 class GreedyEdgeBalancedPartitioner:
@@ -135,7 +206,9 @@ class GreedyEdgeBalancedPartitioner:
             loads[target] += graph.total_degree(v) + 1
 
     def __call__(self, vertex: Hashable) -> int:
-        return self._assignment.get(vertex, hash(vertex) % self.num_workers)
+        return self._assignment.get(
+            vertex, stable_hash(vertex) % self.num_workers
+        )
 
 
 class BfsGrowPartitioner:
@@ -182,7 +255,7 @@ class BfsGrowPartitioner:
 
     def __call__(self, vertex: Hashable) -> int:
         return self._assignment.get(
-            vertex, hash(vertex) % self.num_workers
+            vertex, stable_hash(vertex) % self.num_workers
         )
 
 

@@ -78,8 +78,17 @@ class BSPCostModel:
         """Charge a superstep from per-processor profiles.
 
         ``work[i]``, ``sent[i]`` and ``received[i]`` are the ``w_i``,
-        ``s_i`` and ``r_i`` of processor ``i``.
+        ``s_i`` and ``r_i`` of processor ``i``.  The three profiles
+        must describe the same processors: mismatched lengths raise
+        :class:`ValueError` (``zip`` would silently truncate the
+        h-relation to the shorter profile and undercharge).
         """
+        if not (len(work) == len(sent) == len(received)):
+            raise ValueError(
+                "per-processor profiles disagree on processor count: "
+                f"len(work)={len(work)}, len(sent)={len(sent)}, "
+                f"len(received)={len(received)}"
+            )
         w = max(work, default=0.0)
         h = max(
             (max(s, r) for s, r in zip(sent, received)), default=0.0

@@ -174,6 +174,21 @@ class SuperstepStats:
         """The BSP charge ``max(w, g*h, L)`` for this superstep."""
         return model.superstep_cost(self.w, self.h)
 
+    def binding_term(self, model: BSPCostModel) -> str:
+        """Which term of ``max(w, g*h, L)`` set this superstep's
+        charge: ``"w"`` (compute-bound), ``"gh"`` (communication-
+        bound) or ``"L"`` (latency-bound).  Ties resolve in that
+        priority order, so an idle superstep (all terms equal to
+        zero-work defaults) still gets a single deterministic label.
+        """
+        w = self.w
+        gh = model.g * self.h
+        if w >= gh and w >= model.L:
+            return "w"
+        if gh >= model.L:
+            return "gh"
+        return "L"
+
     def imbalance(self) -> float:
         """``max_i w_i / mean_i w_i`` — 1.0 means perfectly balanced.
 

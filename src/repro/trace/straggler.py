@@ -1,0 +1,195 @@
+"""Straggler and imbalance profiling from per-worker profiles.
+
+BSP charges every superstep at the *slowest* worker (``w = max_i
+w_i``), so one overloaded partition drags the whole run: the paper's
+§2.2 balance properties exist precisely to bound this.  This module
+answers "which worker is the straggler, how often, and by how much"
+from a run's per-worker profiles, and compares partitioners on the
+same workload (hash vs range vs greedy-edge vs BFS-grow) by the
+quantities a partitioner can actually move: work imbalance, remote
+traffic, and the resulting BSP time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from repro.metrics.stats import RunStats, SuperstepStats
+
+StatsLike = Union[RunStats, Sequence[SuperstepStats]]
+
+
+def _supersteps(stats: StatsLike) -> Sequence[SuperstepStats]:
+    if isinstance(stats, RunStats):
+        return stats.supersteps
+    return stats
+
+
+@dataclass(frozen=True)
+class WorkerSkew:
+    """One worker's aggregate profile over a run.
+
+    ``critical_supersteps`` counts the supersteps this worker was the
+    straggler of (its ``w_i`` was the superstep's ``w``; ties go to
+    the lowest worker index, so the counts over all workers sum to the
+    superstep count).  ``critical_share`` is that count as a fraction
+    — the share of the run's critical path this worker set.
+    """
+
+    worker: int
+    total_work: float
+    work_share: float
+    critical_supersteps: int
+    critical_share: float
+    sent_network: int
+    received_network: int
+    sent_remote: int
+    remote_share: float
+
+
+def straggler_profile(stats: StatsLike) -> List[WorkerSkew]:
+    """Per-worker skew profile of a run, one entry per worker."""
+    supersteps = _supersteps(stats)
+    if not supersteps:
+        return []
+    num_workers = supersteps[0].num_workers
+    work = [0.0] * num_workers
+    critical = [0] * num_workers
+    sent_net = [0] * num_workers
+    recv_net = [0] * num_workers
+    remote = [0] * num_workers
+    for s in supersteps:
+        for i in range(num_workers):
+            work[i] += s.work[i]
+            sent_net[i] += s.sent_network[i]
+            recv_net[i] += s.received_network[i]
+            if i < len(s.sent_remote):
+                remote[i] += s.sent_remote[i]
+        # The straggler: argmax work, lowest index on ties.
+        critical[max(range(num_workers), key=lambda i: (s.work[i], -i))] += 1
+    total_work = sum(work) or 1.0
+    total_sent = sum(s.total_messages for s in supersteps) or 1
+    steps = len(supersteps)
+    return [
+        WorkerSkew(
+            worker=i,
+            total_work=work[i],
+            work_share=work[i] / total_work,
+            critical_supersteps=critical[i],
+            critical_share=critical[i] / steps,
+            sent_network=sent_net[i],
+            received_network=recv_net[i],
+            sent_remote=remote[i],
+            remote_share=remote[i] / total_sent,
+        )
+        for i in range(num_workers)
+    ]
+
+
+def format_straggler(stats: StatsLike) -> str:
+    """Render the per-worker skew table with an imbalance footer."""
+    skews = straggler_profile(stats)
+    if not skews:
+        return "(no supersteps recorded)"
+    header = (
+        f"{'worker':>6}  {'work':>12}  {'share':>6}  "
+        f"{'critical':>8}  {'crit%':>6}  {'s_net':>8}  "
+        f"{'r_net':>8}  {'remote':>8}  {'rem%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for sk in skews:
+        lines.append(
+            f"{sk.worker:>6}  {sk.total_work:>12.1f}  "
+            f"{sk.work_share:>6.1%}  {sk.critical_supersteps:>8}  "
+            f"{sk.critical_share:>6.1%}  {sk.sent_network:>8}  "
+            f"{sk.received_network:>8}  {sk.sent_remote:>8}  "
+            f"{sk.remote_share:>6.1%}"
+        )
+    supersteps = _supersteps(stats)
+    worst = max(s.imbalance() for s in supersteps)
+    lines.append("-" * len(header))
+    lines.append(
+        f"supersteps: {len(supersteps)}  "
+        f"worst work imbalance (max_i w_i / mean): {worst:.2f}"
+    )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PartitionerComparison:
+    """One partitioner's run-level outcomes on a fixed workload."""
+
+    name: str
+    bsp_time: float
+    time_processor_product: float
+    max_imbalance: float
+    remote_messages: int
+    total_messages: int
+
+    @property
+    def remote_fraction(self) -> float:
+        if self.total_messages == 0:
+            return 0.0
+        return self.remote_messages / self.total_messages
+
+
+def compare_partitioners(
+    graph,
+    make_program,
+    partitioners: Dict[str, object],
+    **run_kwargs,
+) -> List[PartitionerComparison]:
+    """Run the same program under each partitioner and collect the
+    quantities partitioning can move.
+
+    ``make_program`` is a zero-argument factory (programs may be
+    stateful, so each run gets a fresh instance); ``partitioners``
+    maps report labels to partitioner callables; remaining kwargs pass
+    through to :func:`repro.bsp.run_program`.
+    """
+    from repro.bsp.engine import run_program  # local: avoid cycle
+
+    rows = []
+    for name, partitioner in partitioners.items():
+        result = run_program(
+            graph,
+            make_program(),
+            partitioner=partitioner,
+            **run_kwargs,
+        )
+        stats = result.stats
+        rows.append(
+            PartitionerComparison(
+                name=name,
+                bsp_time=stats.bsp_time,
+                time_processor_product=stats.time_processor_product,
+                max_imbalance=stats.max_imbalance,
+                remote_messages=stats.total_remote_messages,
+                total_messages=stats.total_messages,
+            )
+        )
+    return rows
+
+
+def format_partitioner_table(
+    rows: Sequence[PartitionerComparison],
+) -> str:
+    """Render a partitioner comparison as an aligned text table."""
+    if not rows:
+        return "(no partitioners compared)"
+    width = max(len(r.name) for r in rows)
+    width = max(width, len("partitioner"))
+    header = (
+        f"{'partitioner':<{width}}  {'bsp_time':>10}  {'p*T':>12}  "
+        f"{'imbal':>6}  {'remote':>10}  {'rem%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:<{width}}  {r.bsp_time:>10.1f}  "
+            f"{r.time_processor_product:>12.1f}  "
+            f"{r.max_imbalance:>6.2f}  {r.remote_messages:>10}  "
+            f"{r.remote_fraction:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -11,7 +11,6 @@ from repro.algorithms import (
     hash_min_gas,
 )
 from repro.bsp import run_async
-from repro.errors import SuperstepLimitExceeded
 from repro.graph import (
     Graph,
     erdos_renyi_graph,
@@ -82,10 +81,41 @@ class TestAsyncEfficiency:
         assert result.edge_reads >= result.updates - g.num_vertices
         assert result.signals >= 0
 
-    def test_update_cap(self):
+    def test_update_cap_returns_partial_result(self):
+        # A capped run does not raise: it returns the partial state
+        # with converged=False and the counters of the truncated
+        # schedule intact (the old behavior raised
+        # SuperstepLimitExceeded mid-run and lost everything).
         g = path_graph(50)
-        with pytest.raises(SuperstepLimitExceeded):
-            run_async(g, HashMinGAS(), max_updates=10)
+        result = run_async(g, HashMinGAS(), max_updates=10)
+        assert not result.converged
+        assert result.updates == 10
+        assert result.edge_reads > 0
+        assert len(result.values) == g.num_vertices
+
+    def test_update_cap_prefix_of_uncapped_schedule(self):
+        # The capped run's counters are a prefix of the deterministic
+        # uncapped schedule.
+        g = path_graph(50)
+        full = run_async(g, HashMinGAS())
+        capped = run_async(
+            g, HashMinGAS(), max_updates=full.updates // 2
+        )
+        assert not capped.converged
+        assert capped.updates == full.updates // 2
+        assert capped.edge_reads <= full.edge_reads
+        assert full.converged
+
+    def test_zero_budget(self):
+        g = path_graph(5)
+        result = run_async(g, HashMinGAS(), max_updates=0)
+        assert not result.converged
+        assert result.updates == 0
+
+    def test_negative_budget_rejected(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            run_async(g, HashMinGAS(), max_updates=-1)
 
     def test_deterministic_schedule(self):
         g = erdos_renyi_graph(40, 0.1, seed=5)

@@ -38,6 +38,20 @@ class TestCostModel:
         with pytest.raises(ValueError):
             BSPCostModel(L=-1)
 
+    def test_from_profiles_rejects_mismatched_lengths(self):
+        # Regression: zip() used to truncate silently, undercharging
+        # the h-relation when the profiles disagreed on processor
+        # count.
+        m = BSPCostModel()
+        with pytest.raises(ValueError, match="processor count"):
+            m.superstep_cost_from_profiles(
+                work=[1, 2], sent=[1, 2, 3], received=[1, 2, 3]
+            )
+        with pytest.raises(ValueError, match="len\\(received\\)=1"):
+            m.superstep_cost_from_profiles(
+                work=[1, 2], sent=[1, 2], received=[9]
+            )
+
     def test_default_g_is_unit(self):
         assert BSPCostModel().g == 1.0
 
@@ -75,6 +89,16 @@ class TestSuperstepStats:
         assert s.imbalance() == pytest.approx(10.0 / 6.0)
         idle = SuperstepStats(0, [0.0], [0], [0], [0], [0])
         assert idle.imbalance() == 1.0
+
+    def test_binding_term(self):
+        s = self._stats()  # w=10, h=3
+        assert s.binding_term(BSPCostModel()) == "w"
+        assert s.binding_term(BSPCostModel(g=10.0)) == "gh"
+        assert s.binding_term(BSPCostModel(L=100.0)) == "L"
+        # Ties resolve w > gh > L.
+        assert s.binding_term(BSPCostModel(g=10.0 / 3.0)) == "w"
+        idle = SuperstepStats(0, [0.0], [0], [0], [0], [0])
+        assert idle.binding_term(BSPCostModel()) == "L"
 
 
 class TestRunStats:
