@@ -20,11 +20,16 @@ from repro.bsp.combiner import (
 from repro.bsp.checkpoint import (
     Checkpoint,
     CheckpointStore,
+    EngineSnapshot,
     cow_copy,
     take_checkpoint,
     restore_checkpoint,
 )
 from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.fabric import MessageFabric
+from repro.bsp.loop import CheckpointPolicy, SuperstepLoop
+from repro.bsp.result import RunResult
+from repro.bsp.state import SnapshotRecovery, StateStore
 from repro.bsp.faults import (
     CrashFault,
     DeliveryFaults,
@@ -67,11 +72,18 @@ from repro.bsp.gas import (
 )
 from repro.bsp.program import VertexProgram
 from repro.bsp.vertex import VertexState
-from repro.bsp.worker import Worker
+from repro.bsp.worker import Worker, superstep_profile
 
 __all__ = [
     "Checkpoint",
+    "CheckpointPolicy",
     "CheckpointStore",
+    "EngineSnapshot",
+    "MessageFabric",
+    "RunResult",
+    "SnapshotRecovery",
+    "StateStore",
+    "SuperstepLoop",
     "cow_copy",
     "take_checkpoint",
     "restore_checkpoint",
@@ -123,4 +135,5 @@ __all__ = [
     "VertexProgram",
     "VertexState",
     "Worker",
+    "superstep_profile",
 ]

@@ -14,16 +14,45 @@ engine reports total *updates* (apply calls), *edge reads* (gather
 work) and *signals* (scatter activations).  The benches compare these
 against the synchronous engines' total work — barrier-free execution
 trades the clean ``max(w, g·h, L)`` charge for update efficiency.
+
+Hosted on the shared runtime (``docs/architecture.md``): the FIFO
+schedule is chopped into *rounds* — each round drains the prefix of
+the queue that existed when the round began, which is exactly
+GraphLab's "iteration" notion for a FIFO set-scheduler.  Rounds play
+the role supersteps play elsewhere: they are the unit of checkpoint
+scheduling, crash recovery, trace lifecycle events, and ``RunStats``
+entries, so ``trace=`` / ``fault_plan=`` / ``checkpoint_interval=``
+behave identically across engines.  The update order — and therefore
+every counter — is byte-identical to the un-hosted engine: round
+boundaries only group the schedule, they never reorder it.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Set
+from typing import Any, Dict, Hashable, List, Optional, Set
 
+from repro.bsp.checkpoint import CheckpointStore, cow_copy
+from repro.bsp.faults import (
+    FaultInjector,
+    FaultPlan,
+    inject_network_faults,
+)
 from repro.bsp.gas import GASProgram, NeighborView
+from repro.bsp.loop import (
+    CheckpointPolicy,
+    SuperstepLoop,
+    emit_superstep_commit,
+    emit_superstep_start,
+)
+from repro.bsp.state import SnapshotRecovery
+from repro.bsp.worker import Worker, superstep_profile
 from repro.graph.graph import Graph
+from repro.metrics.cost_model import BSPCostModel
+from repro.metrics.stats import RunStats
+from repro.trace.recorder import TraceRecorder, get_default_trace
 
 
 @dataclass
@@ -43,22 +72,43 @@ class AsyncResult:
     edge_reads: int
     signals: int
     converged: bool
+    #: Per-round BSP-style accounting (one entry per scheduler round),
+    #: giving the async engine cost-model parity with the sync engines.
+    stats: Optional[RunStats] = None
+
+    @property
+    def num_supersteps(self) -> int:
+        """Scheduler rounds executed (the async analogue of
+        supersteps)."""
+        return self.stats.num_supersteps if self.stats is not None else 0
 
 
-class AsyncEngine:
+class AsyncEngine(SnapshotRecovery):
     """FIFO-scheduled asynchronous execution of a
     :class:`~repro.bsp.gas.GASProgram`.
 
     The schedule is deterministic: vertices start enqueued in sorted
     order and re-enqueue on signal (at most one pending entry per
     vertex, like GraphLab's set-scheduler).
+
+    Accepts the shared fault-tolerance surface
+    (``checkpoint_interval`` / ``fault_plan`` /
+    ``max_recovery_attempts`` / ``trace``), applied at round
+    granularity.
     """
+
+    backend_name = "async"
 
     def __init__(
         self,
         graph: Graph,
         program: GASProgram,
         max_updates: int = 10_000_000,
+        cost_model: Optional[BSPCostModel] = None,
+        checkpoint_interval: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_recovery_attempts: int = 3,
+        trace: Optional[TraceRecorder] = None,
     ):
         if max_updates < 0:
             raise ValueError(
@@ -67,6 +117,77 @@ class AsyncEngine:
         self._graph = graph
         self._program = program
         self._max_updates = max_updates
+        self._cost_model = cost_model or BSPCostModel()
+        self._trace = trace if trace is not None else get_default_trace()
+
+        # Scheduler state, (re)initialized per run and snapshotted by
+        # the recovery layer.
+        self._values: Dict[Hashable, Any] = {}
+        self._out_degree: Dict[Hashable, int] = {}
+        self._queue: deque = deque()
+        self._queued: Set[Hashable] = set()
+        self._updates = 0
+        self._edge_reads = 0
+        self._signals = 0
+        self._converged = True
+
+        # The shared supervision stack (loop / policy / injector /
+        # snapshot store — see docs/architecture.md).  A single
+        # logical worker runs the whole schedule; every round can
+        # process at least one update, so ``max_updates + 1`` rounds
+        # always suffice to reach the budget or the fixpoint.
+        self._injector = (
+            FaultInjector(fault_plan, 1)
+            if fault_plan is not None
+            else None
+        )
+        self._ckpt_store = CheckpointStore()
+        self._ckpt_costs: Dict[int, float] = {}
+        self._exec_counts: Dict[int, int] = {}
+        self._run_stats: Optional[RunStats] = None
+        self._workers = [Worker(0)]
+        self._policy = CheckpointPolicy(
+            checkpoint_interval, fault_plan, self._ckpt_store
+        )
+        self._loop = SuperstepLoop(
+            max_supersteps=max_updates + 1,
+            program_name=getattr(program, "name", "async-program"),
+            num_workers=1,
+            cost_model=self._cost_model,
+            injector=self._injector,
+            policy=self._policy,
+            trace=self._trace,
+            max_recovery_attempts=max_recovery_attempts,
+            on_limit="stop",
+        )
+
+    # -- SnapshotRecovery payload hooks -----------------------------
+
+    def _snapshot_payload(self) -> Dict[str, Any]:
+        return {
+            "values": {
+                v: cow_copy(val) for v, val in self._values.items()
+            },
+            "queue": list(self._queue),
+            "queued": set(self._queued),
+            "updates": self._updates,
+            "edge_reads": self._edge_reads,
+            "signals": self._signals,
+            "converged": self._converged,
+        }
+
+    def _restore_payload(self, payload: Dict[str, Any]) -> None:
+        self._values = {
+            v: cow_copy(val) for v, val in payload["values"].items()
+        }
+        self._queue = deque(payload["queue"])
+        self._queued = set(payload["queued"])
+        self._updates = payload["updates"]
+        self._edge_reads = payload["edge_reads"]
+        self._signals = payload["signals"]
+        self._converged = payload["converged"]
+
+    # -- the hosted schedule ----------------------------------------
 
     def run(self) -> AsyncResult:
         """Execute to the fixpoint, or to the ``max_updates`` budget.
@@ -77,57 +198,142 @@ class AsyncEngine:
         """
         graph = self._graph
         program = self._program
-        values: Dict[Hashable, Any] = {
+        self._values = {
             v: program.initial_value(v, graph)
             for v in graph.vertices()
         }
-        out_degree = {
+        self._out_degree = {
             v: graph.out_degree(v) for v in graph.vertices()
         }
-        queue = deque(sorted(graph.vertices(), key=repr))
-        queued: Set[Hashable] = set(queue)
-        updates = 0
-        edge_reads = 0
-        signals = 0
+        self._queue = deque(sorted(graph.vertices(), key=repr))
+        self._queued = set(self._queue)
+        self._updates = 0
+        self._edge_reads = 0
+        self._signals = 0
+        self._converged = True
 
-        converged = True
-        while queue:
-            if updates >= self._max_updates:
-                converged = False
+        stats = RunStats(
+            num_workers=1, cost_model=self._cost_model
+        )
+        self._run_stats = stats
+        ran_out = not self._loop.run(self, stats)
+        return AsyncResult(
+            values=self._values,
+            updates=self._updates,
+            edge_reads=self._edge_reads,
+            signals=self._signals,
+            converged=self._converged and not ran_out,
+            stats=stats,
+        )
+
+    def _execute_superstep(
+        self, superstep: int, stats: RunStats
+    ) -> bool:
+        if not self._queue:
+            return True
+        if self._updates >= self._max_updates:
+            self._converged = False
+            return True
+        self._exec_counts[superstep] = (
+            self._exec_counts.get(superstep, 0) + 1
+        )
+        trace = self._trace
+        if trace is not None:
+            emit_superstep_start(
+                trace,
+                superstep,
+                self._exec_counts[superstep],
+                "async",
+                self.backend_name,
+            )
+        graph = self._graph
+        program = self._program
+        values = self._values
+        queue = self._queue
+        queued = self._queued
+        worker = self._workers[0]
+        worker.reset_counters()
+        seg_start = time.perf_counter()
+
+        # Drain the prefix that existed at round start; signals raised
+        # during the round land in the next round's prefix.
+        round_size = len(queue)
+        processed = 0
+        for _ in range(round_size):
+            if self._updates >= self._max_updates:
                 break
             v = queue.popleft()
             queued.discard(v)
             total = program.identity()
+            gathered = 0
             for u in graph.in_neighbors(v):
                 view = NeighborView(
                     id=u,
                     value=values[u],
-                    out_degree=out_degree[u],
+                    out_degree=self._out_degree[u],
                 )
-                contribution = program.gather(view, graph.weight(u, v))
+                contribution = program.gather(
+                    view, graph.weight(u, v)
+                )
                 total = (
                     contribution
                     if total is None
                     else program.fold(total, contribution)
                 )
-                edge_reads += 1
+                gathered += 1
+            self._edge_reads += gathered
             old = values[v]
             new = program.apply(v, old, total)
             values[v] = new
-            updates += 1
+            self._updates += 1
+            processed += 1
+            worker.work += 1 + gathered
             if program.should_scatter(old, new):
                 for u in graph.neighbors(v):
-                    signals += 1
+                    self._signals += 1
+                    # Signals stay on the single logical worker, so
+                    # they are logical-only traffic: network counters
+                    # stay at zero, as barrier-free shared-memory
+                    # execution should.
+                    worker.sent_logical += 1
+                    worker.received_logical += 1
                     if u not in queued:
                         queued.add(u)
                         queue.append(u)
-        return AsyncResult(
-            values=values,
-            updates=updates,
-            edge_reads=edge_reads,
-            signals=signals,
-            converged=converged,
+
+        worker.wall_seconds = time.perf_counter() - seg_start
+        entry = superstep_profile(
+            self._workers,
+            superstep,
+            processed,
+            checkpoint_cost=self._ckpt_costs.get(superstep, 0.0),
+            executions=self._exec_counts.get(superstep, 1),
         )
+        inject_network_faults(
+            self._injector,
+            sum(entry.received_network),
+            stats,
+            trace,
+            superstep,
+        )
+        stats.supersteps.append(entry)
+        if trace is not None:
+            emit_superstep_commit(
+                trace,
+                self._workers,
+                entry,
+                self._cost_model,
+                sum(entry.received_logical),
+            )
+        # Decide termination here rather than in an extra (empty)
+        # round, so the checkpoint policy never snapshots a round that
+        # commits no entry.
+        if not queue:
+            return True
+        if self._updates >= self._max_updates:
+            self._converged = False
+            return True
+        return False
 
 
 def run_async(

@@ -13,20 +13,47 @@ advantage §3.8's triangle/LCC discussion appeals to.
 The cost accounting reuses :class:`~repro.metrics.stats.RunStats`:
 per-block local work, logical/remote messages, and the BSP superstep
 charge ``max(w, g·h, L)``.
+
+Hosted on the shared runtime (``docs/architecture.md``): the
+superstep loop, checkpoint schedule, crash supervision, trace
+lifecycle events, and injected network faults all come from
+:class:`~repro.bsp.loop.SuperstepLoop` /
+:class:`~repro.bsp.state.SnapshotRecovery`, exactly as for the GAS
+engine, so ``trace=`` / ``fault_plan=`` / ``checkpoint_interval=``
+behave identically across engines.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Set
 
-from repro.bsp.worker import Worker
+from repro.bsp.checkpoint import CheckpointStore, cow_copy
+from repro.bsp.faults import (
+    FaultInjector,
+    FaultPlan,
+    inject_network_faults,
+)
+from repro.bsp.loop import (
+    CheckpointPolicy,
+    SuperstepLoop,
+    emit_superstep_commit,
+    emit_superstep_start,
+)
+from repro.bsp.state import SnapshotRecovery
+from repro.bsp.worker import Worker, superstep_profile
 from repro.errors import MessageToUnknownVertexError
 from repro.graph.graph import Graph
-from repro.graph.partition import BfsGrowPartitioner
+from repro.graph.partition import (
+    BfsGrowPartitioner,
+    build_owner_map,
+    canonical_sort_key,
+)
 from repro.metrics.cost_model import BSPCostModel
-from repro.metrics.stats import RunStats, SuperstepStats
+from repro.metrics.stats import RunStats
+from repro.trace.recorder import TraceRecorder, get_default_trace
 
 
 @dataclass
@@ -101,14 +128,25 @@ class BlockResult:
 
     values: Dict[Hashable, Any]
     stats: RunStats
+    #: False when the run stopped at ``max_supersteps`` without
+    #: quiescing (soft budget, not an error).
+    converged: bool = True
 
     @property
     def num_supersteps(self) -> int:
         return self.stats.num_supersteps
 
 
-class BlockEngine:
-    """Runs a :class:`BlockProgram` over a partitioned graph."""
+class BlockEngine(SnapshotRecovery):
+    """Runs a :class:`BlockProgram` over a partitioned graph.
+
+    Accepts the shared fault-tolerance surface
+    (``checkpoint_interval`` / ``fault_plan`` /
+    ``max_recovery_attempts`` / ``trace``) with the same semantics as
+    :class:`~repro.bsp.engine.PregelEngine`.
+    """
+
+    backend_name = "block"
 
     def __init__(
         self,
@@ -118,18 +156,23 @@ class BlockEngine:
         partitioner=None,
         cost_model: Optional[BSPCostModel] = None,
         max_supersteps: int = 10_000,
+        checkpoint_interval: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_recovery_attempts: int = 3,
+        trace: Optional[TraceRecorder] = None,
     ):
         self._graph = graph
         self._program = program
         self._num_blocks = num_blocks
         self._cost_model = cost_model or BSPCostModel()
         self._max_supersteps = max_supersteps
+        self._trace = trace if trace is not None else get_default_trace()
         partitioner = partitioner or BfsGrowPartitioner(
             graph, num_blocks
         )
-        self._owner: Dict[Hashable, int] = {
-            v: partitioner(v) % num_blocks for v in graph.vertices()
-        }
+        self._owner: Dict[Hashable, int] = build_owner_map(
+            graph.vertices(), partitioner, num_blocks
+        )
         self._workers = [Worker(i) for i in range(num_blocks)]
         self._blocks: List[BlockView] = []
         for index in range(num_blocks):
@@ -145,7 +188,13 @@ class BlockEngine:
                     if u not in owned
                 ]
                 if external:
-                    boundary[v] = sorted(external, key=repr)
+                    # Canonical type-tagged ordering (the same total
+                    # order stable_hash canonicalizes by), so mixed-
+                    # type boundaries sort by value rather than by
+                    # the accident of repr strings.
+                    boundary[v] = sorted(
+                        external, key=canonical_sort_key
+                    )
             self._blocks.append(
                 BlockView(
                     index=index,
@@ -158,6 +207,35 @@ class BlockEngine:
         self._inbox: List[List] = [[] for _ in range(num_blocks)]
         self._outbox: List[List] = [[] for _ in range(num_blocks)]
         self._halted = [False] * num_blocks
+        self._contexts = [
+            BlockContext(self, i) for i in range(num_blocks)
+        ]
+
+        # The shared supervision stack (loop / policy / injector /
+        # snapshot store — see docs/architecture.md).
+        self._injector = (
+            FaultInjector(fault_plan, num_blocks)
+            if fault_plan is not None
+            else None
+        )
+        self._ckpt_store = CheckpointStore()
+        self._ckpt_costs: Dict[int, float] = {}
+        self._exec_counts: Dict[int, int] = {}
+        self._run_stats: Optional[RunStats] = None
+        self._policy = CheckpointPolicy(
+            checkpoint_interval, fault_plan, self._ckpt_store
+        )
+        self._loop = SuperstepLoop(
+            max_supersteps=max_supersteps,
+            program_name=getattr(program, "name", "block-program"),
+            num_workers=num_blocks,
+            cost_model=self._cost_model,
+            injector=self._injector,
+            policy=self._policy,
+            trace=self._trace,
+            max_recovery_attempts=max_recovery_attempts,
+            on_limit="stop",
+        )
 
     # -- services used by BlockContext ---------------------------------
 
@@ -179,58 +257,111 @@ class BlockEngine:
     def _halt(self, block: int) -> None:
         self._halted[block] = True
 
-    # -- main loop -------------------------------------------------------
+    # -- SnapshotRecovery payload hooks -----------------------------
+
+    def _snapshot_payload(self) -> Dict[str, Any]:
+        return {
+            "values": [
+                {v: cow_copy(val) for v, val in b.values.items()}
+                for b in self._blocks
+            ],
+            "halted": list(self._halted),
+            "inbox": [
+                [cow_copy(m) for m in box] for box in self._inbox
+            ],
+        }
+
+    def _restore_payload(self, payload: Dict[str, Any]) -> None:
+        for block, vals in zip(self._blocks, payload["values"]):
+            block.values = {
+                v: cow_copy(val) for v, val in vals.items()
+            }
+        self._halted = list(payload["halted"])
+        self._inbox = [
+            [cow_copy(m) for m in box] for box in payload["inbox"]
+        ]
+
+    def _restored_count(self) -> int:
+        return len(self._owner)
+
+    # -- the hosted superstep ---------------------------------------
 
     def run(self) -> BlockResult:
         stats = RunStats(
             num_workers=self._num_blocks,
             cost_model=self._cost_model,
         )
-        contexts = [
-            BlockContext(self, i) for i in range(self._num_blocks)
-        ]
-        for superstep in range(self._max_supersteps):
-            for w in self._workers:
-                w.reset_counters()
-            self._outbox = [[] for _ in range(self._num_blocks)]
-            active = 0
-            for index, block in enumerate(self._blocks):
-                messages = self._inbox[index]
-                if messages:
-                    self._halted[index] = False
-                if self._halted[index]:
-                    continue
-                active += 1
-                ctx = contexts[index]
-                ctx.superstep = superstep
-                self._workers[index].work += 1 + len(messages)
-                self._program.compute(block, messages, ctx)
-            ws = self._workers
-            stats.supersteps.append(
-                SuperstepStats(
-                    superstep=superstep,
-                    work=[w.work for w in ws],
-                    sent_logical=[w.sent_logical for w in ws],
-                    received_logical=[
-                        w.received_logical for w in ws
-                    ],
-                    sent_network=[w.sent_network for w in ws],
-                    received_network=[
-                        w.received_network for w in ws
-                    ],
-                    active_vertices=active,
-                    sent_remote=[w.sent_remote for w in ws],
-                )
-            )
-            self._inbox = self._outbox
-            if all(self._halted) and not any(
-                self._inbox[i] for i in range(self._num_blocks)
-            ):
-                break
+        self._run_stats = stats
+        converged = self._loop.run(self, stats)
         values: Dict[Hashable, Any] = {}
         for block in self._blocks:
             values.update(block.values)
-        return BlockResult(values=values, stats=stats)
+        return BlockResult(
+            values=values, stats=stats, converged=converged
+        )
+
+    def _execute_superstep(
+        self, superstep: int, stats: RunStats
+    ) -> bool:
+        self._exec_counts[superstep] = (
+            self._exec_counts.get(superstep, 0) + 1
+        )
+        trace = self._trace
+        if trace is not None:
+            emit_superstep_start(
+                trace,
+                superstep,
+                self._exec_counts[superstep],
+                "block",
+                self.backend_name,
+            )
+        for w in self._workers:
+            w.reset_counters()
+        self._outbox = [[] for _ in range(self._num_blocks)]
+        active = 0
+        for index, block in enumerate(self._blocks):
+            messages = self._inbox[index]
+            if messages:
+                self._halted[index] = False
+            if self._halted[index]:
+                continue
+            seg_start = time.perf_counter()
+            active += 1
+            ctx = self._contexts[index]
+            ctx.superstep = superstep
+            self._workers[index].work += 1 + len(messages)
+            self._program.compute(block, messages, ctx)
+            self._workers[index].wall_seconds = (
+                time.perf_counter() - seg_start
+            )
+        entry = superstep_profile(
+            self._workers,
+            superstep,
+            active,
+            checkpoint_cost=self._ckpt_costs.get(superstep, 0.0),
+            executions=self._exec_counts.get(superstep, 1),
+        )
+        # Injected message faults strike the superstep's cross-block
+        # traffic as one batch; reliable delivery masks them.
+        inject_network_faults(
+            self._injector,
+            sum(entry.received_network),
+            stats,
+            trace,
+            superstep,
+        )
+        stats.supersteps.append(entry)
+        delivered = sum(len(box) for box in self._outbox)
+        if trace is not None:
+            emit_superstep_commit(
+                trace,
+                self._workers,
+                entry,
+                self._cost_model,
+                delivered,
+            )
+        self._inbox = self._outbox
+        return all(self._halted) and delivered == 0
 
 
 def run_blocks(

@@ -141,13 +141,39 @@ class Checkpoint:
         return atoms
 
 
+@dataclass
+class EngineSnapshot:
+    """A generic payload snapshot for the re-hosted engines.
+
+    The GAS/block/async engines have no vertex-state dicts of the
+    Pregel shape, but each can describe its complete mutable run state
+    as a payload dict (values, active sets, queues, counters — see
+    each engine's ``_snapshot_payload``).  This wrapper carries the
+    payload with the two attributes the shared machinery needs: the
+    ``superstep`` the snapshot was taken at (the
+    :class:`~repro.bsp.loop.CheckpointPolicy` schedule keys on it) and
+    the ``size`` in state atoms (drives the write-cost charge, exactly
+    like :class:`Checkpoint`).
+    """
+
+    superstep: int
+    payload: Dict[str, Any]
+    size: int = 0
+
+    def __post_init__(self):
+        if self.size == 0:
+            self.size = state_atoms(self.payload)
+
+
 class CheckpointStore:
     """Holds the most recent checkpoint and write-side accounting.
 
     Only the latest checkpoint is retained (rollback always targets
     it, exactly as in Pregel, which keeps one generation per worker);
     ``written`` counts every checkpoint taken over the run and
-    ``total_size`` their cumulative size in atoms.
+    ``total_size`` their cumulative size in atoms.  Stores either a
+    full Pregel :class:`Checkpoint` or a re-hosted engine's
+    :class:`EngineSnapshot` — anything with ``superstep`` and ``size``.
     """
 
     def __init__(self):

@@ -1,5 +1,5 @@
-"""The simulated Pregel engine: synchronous BSP supersteps over
-partitioned workers, with full cost instrumentation.
+"""The simulated Pregel engine: a thin composition of the shared
+runtime layers.
 
 This is the substrate the paper's analysis assumes.  It executes real
 ``vertex.compute()`` programs with Pregel semantics:
@@ -19,91 +19,80 @@ superstep records per-worker local work ``w_i`` and message counts
 (§2.1).  An optional BPPA tracker observes per-vertex balance for the
 §2.2 properties.
 
-The engine also models the fault-tolerance story the real systems
-depend on (``docs/fault_tolerance.md``): with ``checkpoint_interval``
-set it snapshots engine state at superstep boundaries
-(:mod:`repro.bsp.checkpoint`), and with a ``fault_plan``
+Layering (``docs/architecture.md``)
+-----------------------------------
+
+The engine itself owns only the Pregel-specific policy — aggregator
+semantics, master compute, vote-to-halt termination, the superstep
+protocol order.  Everything else is composed from the shared layers
+that also host the GAS/block/async engines:
+
+* :class:`~repro.bsp.loop.SuperstepLoop` — scheduling, the
+  max-superstep guard, the checkpoint schedule
+  (:class:`~repro.bsp.loop.CheckpointPolicy`), fault-injector arming,
+  and the crash-supervision protocol;
+* :class:`~repro.bsp.fabric.MessageFabric` — both mailbox layouts
+  (reference dicts and dense slots), the send/fanout entry points,
+  combining, ledger accounting, and fault-injected delivery;
+* :class:`~repro.bsp.state.StateStore` — the partitioned vertex
+  states, the owner map, and the recovery bookkeeping (checkpoint
+  store, confined-recovery logs);
+* the compute kernels (:mod:`repro.bsp.kernels`) — the per-superstep
+  vertex-execution loops for each mailbox layout.
+
+Both execution paths (``docs/performance.md``) execute vertices, fold
+combiners, deliver messages and draw injected faults in exactly the
+same order, so a run produces **byte-identical** :class:`PregelResult`
+values, ``RunStats``, and BPPA observations on either path — including
+under checkpointing and fault plans.  The fast path engages
+automatically and disengages for the rest of the run the first time a
+topology mutation is applied (dense ids are frozen);
+``confined_recovery`` runs use the reference path throughout, because
+confined replay re-executes single partitions against logged
+per-vertex inboxes.  A third path — real process parallelism over the
+dense layout — lives in :mod:`repro.bsp.parallel` and is selected with
+``backend="parallel"`` via :func:`create_engine`/:func:`run_program`.
+
+The fault-tolerance story (``docs/fault_tolerance.md``): with
+``checkpoint_interval`` set the engine snapshots state at superstep
+boundaries (:mod:`repro.bsp.checkpoint`), and with a ``fault_plan``
 (:mod:`repro.bsp.faults`) it survives injected worker crashes by
-rolling back to the last checkpoint and replaying — or, with
-``confined_recovery``, by recomputing only the crashed partition from
-logged messages.  Message drop/duplicate/delay faults are masked by
-the simulated reliable-delivery layer, so *any* faulted run that
-completes produces byte-identical values to the fault-free run; only
-the cost accounting (``RunStats.recovery_overhead``) differs.
-
-Execution paths (``docs/performance.md``, ``docs/parallel_backend.md``)
------------------------------------------------------------------------
-
-The engine owns two interchangeable implementations of its hot loop
-(a third — real process parallelism over the dense layout — lives in
-:mod:`repro.bsp.parallel` and is selected with ``backend="parallel"``
-via :func:`create_engine`/:func:`run_program`):
-
-* the **reference dict path** — hashable-keyed ``_inbox``/``_outbox``
-  dicts, one ``(src_worker, message)`` tuple per logical message,
-  combiner applied at delivery.  Always correct, engaged under
-  topology mutations and confined recovery, and the oracle the fast
-  path is tested against;
-* the **dense fast path** — vertex ids compiled to contiguous ints
-  (:class:`~repro.graph.partition.DenseIndex`), slot mailboxes (flat
-  lists indexed by dense id with per-superstep dirty lists, so
-  clearing is O(active) not O(n)), and the combiner folded *at send
-  time* into a per-``(destination, sending worker)`` slot.
-
-Both paths execute vertices, fold combiners, deliver messages and
-draw injected faults in exactly the same order, so a run produces
-**byte-identical** ``PregelResult`` values, ``RunStats``, and BPPA
-observations on either path — including under checkpointing and
-fault plans.  The fast path engages automatically and disengages for
-the rest of the run the first time a topology mutation is applied
-(dense ids are frozen); ``confined_recovery`` runs use the reference
-path throughout, because confined replay re-executes single
-partitions against logged per-vertex inboxes.
+rolling back and replaying — or, with ``confined_recovery``, by
+recomputing only the crashed partition from logged messages.  Message
+drop/duplicate/delay faults are masked by the simulated
+reliable-delivery layer, so *any* faulted run that completes produces
+byte-identical values to the fault-free run; only the cost accounting
+(``RunStats.recovery_overhead``) differs.
 """
 
 from __future__ import annotations
 
-import operator
 import random
-import time
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Set
 
-from repro.bsp.checkpoint import (
-    CheckpointStore,
-    restore_checkpoint,
-    restore_partition,
-    take_checkpoint,
-)
-from repro.bsp.combiner import Combiner, SumCombiner
+from repro.bsp.checkpoint import restore_checkpoint, take_checkpoint
+from repro.bsp.combiner import Combiner
 from repro.bsp.context import ComputeContext, MasterContext
-from repro.bsp.faults import DeliveryFaults, FaultInjector, FaultPlan
-from repro.bsp.program import VertexProgram
-from repro.bsp.vertex import VertexState
-from repro.bsp.worker import Worker
-from repro.errors import (
-    CheckpointError,
-    MessageToUnknownVertexError,
-    RecoveryExhaustedError,
-    SuperstepLimitExceeded,
-    WorkerCrashError,
+from repro.bsp.fabric import MessageFabric
+from repro.bsp.faults import FaultInjector, FaultPlan
+from repro.bsp.kernels import dense_compute_pass, reference_compute_pass
+from repro.bsp.loop import (
+    CheckpointPolicy,
+    SuperstepLoop,
+    emit_superstep_commit,
+    emit_superstep_start,
 )
+from repro.bsp.program import VertexProgram
+from repro.bsp.state import StateStore, apply_mutations, confined_replay
+from repro.bsp.worker import superstep_profile
+from repro.errors import WorkerCrashError
 from repro.graph.graph import Graph
-from repro.graph.partition import HashPartitioner, build_dense_index
+from repro.graph.partition import HashPartitioner
 from repro.metrics.bppa import BppaObservation, BppaTracker
 from repro.metrics.cost_model import BSPCostModel
 from repro.metrics.stats import RunStats, SuperstepStats, SuperstepWall
-from repro.trace.events import (
-    Barrier,
-    CheckpointWrite,
-    FaultInjected,
-    Handoff,
-    Rollback,
-    SuperstepEnd,
-    SuperstepStart,
-    WorkerProfile,
-)
+from repro.trace.events import CheckpointWrite, Handoff
 from repro.trace.recorder import TraceRecorder, get_default_trace
 
 
@@ -222,10 +211,7 @@ class PregelEngine:
 
         partitioner = partitioner or HashPartitioner(num_workers)
         self._partitioner = partitioner
-        self._workers = [Worker(i) for i in range(num_workers)]
-        self._states: Dict[Hashable, VertexState] = {}
-        self._owner: Dict[Hashable, int] = {}
-        self._build_states()
+        self._store = StateStore(graph, program, partitioner, num_workers)
 
         self._tracker: Optional[BppaTracker] = None
         if track_bppa:
@@ -234,31 +220,18 @@ class PregelEngine:
             }
             self._tracker = BppaTracker(degrees)
 
-        # Superstep-scoped structures (reference dict path; the fast
-        # path swaps the mailboxes for dense slot arrays below).
+        # Superstep-scoped structures.  The fabric owns every mailbox;
+        # the engine keeps the aggregator registry and master state.
+        self._fabric = MessageFabric(self, self._store, combiner)
         self._ctx = ComputeContext(self)
-        self._inbox: Dict[Hashable, List[Any]] = defaultdict(list)
-        self._outbox: Dict[Hashable, List] = defaultdict(list)
         self._aggregators = dict(getattr(program, "aggregators", dict)())
         self._agg_current: Dict[str, Any] = {}
         self._agg_finalized: Dict[str, Any] = {}
         self._wake_all = False
         self._aggregate_history: List[Dict[str, Any]] = []
 
-        # Fault tolerance: checkpointing, injection, recovery.
-        if (
-            checkpoint_interval is not None
-            and checkpoint_interval < 1
-        ):
-            raise CheckpointError(
-                "checkpoint_interval must be >= 1, got "
-                f"{checkpoint_interval}"
-            )
-        if max_recovery_attempts < 1:
-            raise ValueError(
-                "max_recovery_attempts must be >= 1, got "
-                f"{max_recovery_attempts}"
-            )
+        # Fault tolerance: the loop owns the schedule and the crash
+        # protocol; the store owns the snapshots and replay logs.
         self._checkpoint_interval = checkpoint_interval
         self._fault_plan = fault_plan
         self._injector = (
@@ -268,14 +241,22 @@ class PregelEngine:
         )
         self._max_recovery_attempts = max_recovery_attempts
         self._confined_recovery = confined_recovery
-        self._ckpt_store = CheckpointStore()
-        self._ckpt_costs: Dict[int, float] = {}
-        self._message_log: Dict[int, Dict[Hashable, List[Any]]] = {}
-        self._wake_log: Dict[int, bool] = {}
-        self._mutated_since_checkpoint = False
+        self._policy = CheckpointPolicy(
+            checkpoint_interval, fault_plan, self._store.ckpt_store
+        )
+        self._loop = SuperstepLoop(
+            max_supersteps=max_supersteps,
+            program_name=program.name,
+            num_workers=num_workers,
+            cost_model=self._cost_model,
+            injector=self._injector,
+            policy=self._policy,
+            trace=self._trace,
+            max_recovery_attempts=max_recovery_attempts,
+            on_limit="raise",
+        )
         self._replaying = False
         self._exec_counts: Dict[int, int] = {}
-        self._crash_counts: Dict[int, int] = {}
         self._run_stats: Optional[RunStats] = None
 
         # Execution-path selection (dense fast path vs reference).
@@ -288,52 +269,66 @@ class PregelEngine:
         if use_fast_path is None:
             use_fast_path = not confined_recovery
         self._fast_enabled = bool(use_fast_path)
-        self._fast_active = False
-        self._enqueue = self._enqueue_reference
-        self._fanout = self._fanout_reference
-        self._dense = None
-        self._dense_states: Optional[List[VertexState]] = None
-        self._dense_out: Optional[List[Optional[List[int]]]] = None
-        self._remote_out: Optional[List[int]] = None
-        self._in_slots: Optional[List[Optional[List[Any]]]] = None
-        self._in_dirty: List[int] = []
-        self._out_dirty: List[int] = []
-        self._out_pending = 0
-        self._accs: Optional[List[List[Any]]] = None
-        self._cnts: Optional[List[List[int]]] = None
-        self._acc: Optional[List[Any]] = None
-        self._cnt: Optional[List[int]] = None
-        self._acc_touched: List[int] = []
-        self._slot_seen: Optional[List[int]] = None
-        self._stamp = 0
-        self._cur_worker: Optional[Worker] = None
-        self._cur_src = 0
-        self._cur_idx = 0
+        self._enqueue = self._fabric.enqueue
+        self._fanout = self._fabric.fanout
         if self._fast_enabled:
-            self._engage_fast_path()
+            self._fabric.engage_fast_path()
 
     # ------------------------------------------------------------------
-    # Setup
+    # Layer views (compat surface shared with checkpoint/parallel code)
     # ------------------------------------------------------------------
 
-    def _build_states(self) -> None:
-        g = self._graph
-        for v in g.vertices():
-            out_edges = {u: g.weight(v, u) for u in g.neighbors(v)}
-            if g.directed:
-                in_edges = {u: g.weight(u, v) for u in g.in_neighbors(v)}
-            else:
-                in_edges = out_edges
-            state = VertexState(
-                v,
-                value=self._program.initial_value(v, g),
-                out_edges=out_edges,
-                in_edges=in_edges,
-            )
-            self._states[v] = state
-            widx = self._partitioner(v) % self._num_workers
-            self._owner[v] = widx
-            self._workers[widx].vertex_ids.append(v)
+    @property
+    def _states(self) -> Dict[Hashable, Any]:
+        return self._store.states
+
+    @_states.setter
+    def _states(self, states: Dict[Hashable, Any]) -> None:
+        # A checkpoint restore swaps the whole dict; refresh the
+        # fabric's hot-path mirror alongside the store.
+        self._store.states = states
+        self._fabric.states = states
+
+    @property
+    def _owner(self) -> Dict[Hashable, int]:
+        return self._store.owner
+
+    @_owner.setter
+    def _owner(self, owner: Dict[Hashable, int]) -> None:
+        self._store.owner = owner
+        self._fabric.owner = owner
+
+    @property
+    def _workers(self):
+        return self._store.workers
+
+    @property
+    def _fast_active(self) -> bool:
+        return self._fabric.fast_active
+
+    @property
+    def _ckpt_store(self):
+        return self._store.ckpt_store
+
+    @property
+    def _ckpt_costs(self) -> Dict[int, float]:
+        return self._store.ckpt_costs
+
+    @property
+    def _message_log(self):
+        return self._store.message_log
+
+    @property
+    def _wake_log(self):
+        return self._store.wake_log
+
+    @property
+    def _mutated_since_checkpoint(self) -> bool:
+        return self._store.mutated_since_checkpoint
+
+    @property
+    def _crash_counts(self) -> Dict[int, int]:
+        return self._loop.crash_counts
 
     # ------------------------------------------------------------------
     # Engine services used by ComputeContext
@@ -341,235 +336,15 @@ class PregelEngine:
 
     @property
     def num_vertices(self) -> int:
-        return len(self._states)
+        return len(self._store.states)
 
     @property
     def fast_path(self) -> bool:
         """True while the dense-index fast path is engaged."""
-        return self._fast_active
+        return self._fabric.fast_active
 
     def has_vertex(self, vertex_id: Hashable) -> bool:
-        return vertex_id in self._states
-
-    def _enqueue_reference(
-        self, source: Hashable, target: Hashable, message: Any
-    ) -> None:
-        if target not in self._states:
-            raise MessageToUnknownVertexError(target)
-        if self._replaying:
-            # Confined replay recomputes state only; every message the
-            # original execution sent was already delivered (and
-            # logged), so re-sends are suppressed.
-            return
-        src_worker = self._owner[source]
-        dst_worker = self._owner[target]
-        self._outbox[target].append((src_worker, message))
-        self._workers[src_worker].sent_logical += 1
-        if src_worker != dst_worker:
-            self._workers[src_worker].sent_remote += 1
-
-    def _fanout_reference(
-        self, source: Hashable, targets, message: Any
-    ) -> int:
-        enqueue = self._enqueue
-        n = 0
-        for target in targets:
-            enqueue(source, target, message)
-            n += 1
-        return n
-
-    # -- fast path: slot mailboxes, send-time combining ----------------
-    #
-    # These run only from inside the fast compute pass, which binds
-    # self._cur_worker / self._cur_src / self._cur_idx per vertex and
-    # self._acc / self._cnt per worker; confined recovery (the only
-    # producer of _replaying) forces the reference path, so no replay
-    # guard is needed here.
-    #
-    # Key properties that keep the fast path byte-identical:
-    #
-    # * Workers execute sequentially, so global send order is "all of
-    #   worker 0's sends, then worker 1's, …".  Each worker owns a
-    #   persistent accumulator array indexed by dense destination
-    #   (its ``(src_worker, destination)`` slots), and delivery scans
-    #   the workers in index order per destination — which is exactly
-    #   the per-destination grouping order the reference outbox
-    #   produces at delivery time.
-    # * ``_out_dirty`` is rebuilt per superstep by stamping first
-    #   touches per worker and deduplicating across workers in worker
-    #   order; that equals the reference outbox's key insertion order,
-    #   which fixes the fault-injection draw sequence and the inbox
-    #   (and checkpoint) insertion order.
-    # * The dense adjacency (_dense_out/_remote_out, compiled once at
-    #   engage) replaces the per-message id hash for full-neighbor
-    #   fanouts; the topology is frozen while the fast path is active,
-    #   so the compiled neighbor indices cannot go stale.
-    #
-    # With a combiner, a slot is a single combined message in
-    # ``_accs[w][dst]`` plus its logical count in ``_cnts[w][dst]``
-    # (occupancy is ``cnt > 0``, so messages may be any value,
-    # including None); without one it is a list of messages in send
-    # order (occupancy: non-None).
-
-    def _enqueue_fast(
-        self, source: Hashable, target: Hashable, message: Any
-    ) -> None:
-        dst = self._dense.idx_of.get(target)
-        if dst is None:
-            raise MessageToUnknownVertexError(target)
-        bucket = self._acc[dst]
-        if bucket is None:
-            self._acc[dst] = [message]
-            self._acc_touched.append(dst)
-        else:
-            bucket.append(message)
-        self._out_pending += 1
-        worker = self._cur_worker
-        worker.sent_logical += 1
-        if self._dense.owner_of[dst] != self._cur_src:
-            worker.sent_remote += 1
-
-    def _enqueue_fast_combining(
-        self, source: Hashable, target: Hashable, message: Any
-    ) -> None:
-        dst = self._dense.idx_of.get(target)
-        if dst is None:
-            raise MessageToUnknownVertexError(target)
-        cnt = self._cnt
-        c = cnt[dst]
-        if c:
-            self._acc[dst] = self._combine(self._acc[dst], message)
-            cnt[dst] = c + 1
-        else:
-            self._acc[dst] = message
-            cnt[dst] = 1
-            self._acc_touched.append(dst)
-        self._out_pending += 1
-        worker = self._cur_worker
-        worker.sent_logical += 1
-        if self._dense.owner_of[dst] != self._cur_src:
-            worker.sent_remote += 1
-
-    def _fanout_fast(self, source, targets, message) -> int:
-        idx = self._cur_idx
-        acc = self._acc
-        touched = self._acc_touched
-        worker = self._cur_worker
-        nbrs = self._dense_out[idx]
-        if (
-            nbrs is not None
-            and targets is self._dense_states[idx].out_edges
-        ):
-            # Full-neighbor fanout: use the precompiled dense
-            # adjacency — no per-target hashing.
-            for dst in nbrs:
-                bucket = acc[dst]
-                if bucket is None:
-                    acc[dst] = [message]
-                    touched.append(dst)
-                else:
-                    bucket.append(message)
-            n = len(nbrs)
-            worker.sent_logical += n
-            worker.sent_remote += self._remote_out[idx]
-            self._out_pending += n
-            return n
-        idx_get = self._dense.idx_of.get
-        owner_of = self._dense.owner_of
-        src = self._cur_src
-        n = remote = 0
-        try:
-            for target in targets:
-                dst = idx_get(target)
-                if dst is None:
-                    raise MessageToUnknownVertexError(target)
-                bucket = acc[dst]
-                if bucket is None:
-                    acc[dst] = [message]
-                    touched.append(dst)
-                else:
-                    bucket.append(message)
-                if owner_of[dst] != src:
-                    remote += 1
-                n += 1
-        finally:
-            # Commit partial counts on an unknown-target raise, exactly
-            # as per-message sends would have.
-            worker.sent_logical += n
-            worker.sent_remote += remote
-            self._out_pending += n
-        return n
-
-    def _fanout_fast_combining(self, source, targets, message) -> int:
-        idx = self._cur_idx
-        acc = self._acc
-        cnt = self._cnt
-        touched = self._acc_touched
-        combine = self._combine
-        worker = self._cur_worker
-        nbrs = self._dense_out[idx]
-        if (
-            nbrs is not None
-            and targets is self._dense_states[idx].out_edges
-        ):
-            for dst in nbrs:
-                c = cnt[dst]
-                if c:
-                    acc[dst] = combine(acc[dst], message)
-                    cnt[dst] = c + 1
-                else:
-                    acc[dst] = message
-                    cnt[dst] = 1
-                    touched.append(dst)
-            n = len(nbrs)
-            worker.sent_logical += n
-            worker.sent_remote += self._remote_out[idx]
-            self._out_pending += n
-            return n
-        idx_get = self._dense.idx_of.get
-        owner_of = self._dense.owner_of
-        src = self._cur_src
-        n = remote = 0
-        try:
-            for target in targets:
-                dst = idx_get(target)
-                if dst is None:
-                    raise MessageToUnknownVertexError(target)
-                c = cnt[dst]
-                if c:
-                    acc[dst] = combine(acc[dst], message)
-                    cnt[dst] = c + 1
-                else:
-                    acc[dst] = message
-                    cnt[dst] = 1
-                    touched.append(dst)
-                if owner_of[dst] != src:
-                    remote += 1
-                n += 1
-        finally:
-            worker.sent_logical += n
-            worker.sent_remote += remote
-            self._out_pending += n
-        return n
-
-    def _flush_worker_sends(self) -> None:
-        """Record the finished worker's first-touched destinations in
-        the global dirty list.
-
-        Runs once per worker per superstep, O(touched destinations),
-        and moves no payloads — slots stay in the per-worker
-        accumulators until delivery.  Workers flush in index order,
-        which is also global send order, so ``_out_dirty`` gets the
-        reference outbox's first-touch key order.
-        """
-        seen = self._slot_seen
-        stamp = self._stamp
-        dirty = self._out_dirty
-        for dst in self._acc_touched:
-            if seen[dst] != stamp:
-                seen[dst] = stamp
-                dirty.append(dst)
-        self._acc_touched = []
+        return vertex_id in self._store.states
 
     def _aggregate(self, name: str, value: Any) -> None:
         if self._replaying:
@@ -583,148 +358,19 @@ class PregelEngine:
         )
 
     # ------------------------------------------------------------------
-    # Execution-path management
+    # Execution-path management (delegated to the fabric; kept as
+    # engine methods because checkpoint restore and the parallel
+    # backend hook them here)
     # ------------------------------------------------------------------
 
     def _engage_fast_path(self) -> None:
-        """Compile the dense index and switch to slot mailboxes.
-
-        Called at construction and when a checkpoint restore rewinds
-        the engine to a state where the fast path was active.  The
-        dense order mirrors worker/`vertex_ids` order exactly, so
-        execution sequencing is unchanged.
-        """
-        dense = build_dense_index(self._workers)
-        self._dense = dense
-        for worker, (start, stop) in zip(self._workers, dense.ranges):
-            worker.range_start = start
-            worker.range_stop = stop
-        states = self._states
-        dense_states = [states[vid] for vid in dense.id_of]
-        self._dense_states = dense_states
-        n = len(dense.id_of)
-        # Compile the dense adjacency: full-neighbor fanouts iterate
-        # precomputed int indices instead of hashing ids per message.
-        # A vertex with a dangling out-edge (no matching state) gets
-        # None and falls back to the generic per-target loop, which
-        # raises MessageToUnknownVertexError exactly as the reference
-        # path would.
-        idx_of = dense.idx_of
-        owner_of = dense.owner_of
-        dense_out: List[Optional[List[int]]] = [None] * n
-        remote_out = [0] * n
-        for idx, state in enumerate(dense_states):
-            src = owner_of[idx]
-            nbrs: List[int] = []
-            remote = 0
-            for target in state.out_edges:
-                j = idx_of.get(target)
-                if j is None:
-                    nbrs = None
-                    break
-                nbrs.append(j)
-                if owner_of[j] != src:
-                    remote += 1
-            if nbrs is not None:
-                dense_out[idx] = nbrs
-                remote_out[idx] = remote
-        self._dense_out = dense_out
-        self._remote_out = remote_out
-        self._in_slots = [None] * n
-        self._in_dirty = []
-        self._out_dirty = []
-        self._out_pending = 0
-        self._accs = [[None] * n for _ in self._workers]
-        self._cnts = (
-            [[0] * n for _ in self._workers]
-            if self._combiner is not None
-            else None
-        )
-        self._acc = None
-        self._cnt = None
-        self._acc_touched = []
-        self._slot_seen = [0] * n
-        self._stamp = 0
-        self._inbox = defaultdict(list)  # idle while fast
-        self._outbox = defaultdict(list)
-        if self._combiner is not None:
-            # Stock SumCombiner folds with the C-level add (exactly
-            # ``a + b``, the same expression its combine() evaluates),
-            # skipping a Python frame per fold.  Gated on the exact
-            # type so subclasses keep their overridden behavior.
-            if type(self._combiner) is SumCombiner:
-                self._combine = operator.add
-            else:
-                self._combine = self._combiner.combine
-            self._enqueue = self._enqueue_fast_combining
-            self._fanout = self._fanout_fast_combining
-        else:
-            self._enqueue = self._enqueue_fast
-            self._fanout = self._fanout_fast
-        self._fast_active = True
+        self._fabric.engage_fast_path()
 
     def _disengage_fast_path(self) -> None:
-        """Fall back to the reference dict path for the rest of the
-        run (the frozen dense index no longer matches the topology).
-
-        Undelivered slot-mailbox messages move to the dict inbox in
-        delivery order, so the reference path resumes byte-identically
-        next superstep.
-        """
-        inbox: Dict[Hashable, List[Any]] = defaultdict(list)
-        id_of = self._dense.id_of
-        in_slots = self._in_slots
-        for idx in self._in_dirty:
-            inbox[id_of[idx]] = in_slots[idx]
-        self._inbox = inbox
-        self._outbox = defaultdict(list)
-        self._dense = None
-        self._dense_states = None
-        self._dense_out = None
-        self._remote_out = None
-        self._in_slots = None
-        self._in_dirty = []
-        self._out_dirty = []
-        self._out_pending = 0
-        self._accs = None
-        self._cnts = None
-        self._acc = None
-        self._cnt = None
-        self._acc_touched = []
-        self._slot_seen = None
-        self._enqueue = self._enqueue_reference
-        self._fanout = self._fanout_reference
-        self._fast_active = False
+        self._fabric.disengage_fast_path()
 
     def _reset_execution_path(self, fast: bool) -> None:
-        """Adopt the execution path recorded in a checkpoint.
-
-        Invoked by :func:`~repro.bsp.checkpoint.restore_checkpoint`
-        after vertex states, ownership, and worker lists are restored;
-        rebuilds the path-specific mailboxes empty.
-        """
-        if fast and self._fast_enabled:
-            self._engage_fast_path()
-        else:
-            self._fast_active = False
-            self._dense = None
-            self._dense_states = None
-            self._dense_out = None
-            self._remote_out = None
-            self._in_slots = None
-            self._in_dirty = []
-            self._out_dirty = []
-            self._out_pending = 0
-            self._accs = None
-            self._cnts = None
-            self._acc = None
-            self._cnt = None
-            self._acc_touched = []
-            self._slot_seen = None
-            self._enqueue = self._enqueue_reference
-            self._fanout = self._fanout_reference
-            self._inbox = defaultdict(list)
-            self._outbox = defaultdict(list)
+        self._fabric.reset_execution_path(fast)
 
     def _post_restore_sync(self) -> None:
         """Hook invoked by :func:`~repro.bsp.checkpoint.
@@ -735,33 +381,10 @@ class PregelEngine:
         that were killed by an injected crash)."""
 
     def _inbox_snapshot_items(self):
-        """``(vertex_id, messages)`` pairs of the undelivered inbox in
-        delivery order, independent of mailbox layout.  Used by
-        :func:`~repro.bsp.checkpoint.take_checkpoint`."""
-        if self._fast_active:
-            id_of = self._dense.id_of
-            in_slots = self._in_slots
-            return [
-                (id_of[idx], in_slots[idx]) for idx in self._in_dirty
-            ]
-        return list(self._inbox.items())
+        return self._fabric.inbox_snapshot_items()
 
     def _restore_inbox(self, inbox: Dict[Hashable, List[Any]]) -> None:
-        """Adopt ``inbox`` (delivery-ordered) into the active mailbox
-        layout.  Used by checkpoint restore."""
-        if self._fast_active:
-            idx_of = self._dense.idx_of
-            in_slots = self._in_slots
-            dirty = self._in_dirty
-            for vid, msgs in inbox.items():
-                idx = idx_of[vid]
-                in_slots[idx] = list(msgs)
-                dirty.append(idx)
-        else:
-            fresh: Dict[Hashable, List[Any]] = defaultdict(list)
-            for vid, msgs in inbox.items():
-                fresh[vid] = list(msgs)
-            self._inbox = fresh
+        self._fabric.restore_inbox(inbox)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -770,43 +393,28 @@ class PregelEngine:
     def run(self) -> PregelResult:
         """Execute the program to termination and return the result.
 
-        Under fault injection the loop is a supervision loop: a
-        checkpoint may be written before a superstep executes, an
-        injected :class:`WorkerCrashError` rolls the run back to the
-        last checkpoint (or triggers confined recovery) and execution
-        resumes, with all recovery costs accounted in ``RunStats``.
+        The shared :class:`~repro.bsp.loop.SuperstepLoop` supervises
+        the run: a checkpoint may be written before a superstep
+        executes, an injected :class:`WorkerCrashError` rolls the run
+        back to the last checkpoint (or triggers confined recovery)
+        and execution resumes, with all recovery costs accounted in
+        ``RunStats``.
         """
         stats = RunStats(
             num_workers=self._num_workers, cost_model=self._cost_model
         )
         self._run_stats = stats
         self._aggregate_history = []
-        injector = self._injector
         tracker = self._tracker
 
-        superstep = 0
-        while True:
-            if superstep >= self._max_supersteps:
-                raise SuperstepLimitExceeded(
-                    self._max_supersteps, self._program.name
-                )
-            if self._should_checkpoint(superstep):
-                self._write_checkpoint(superstep, stats)
-            try:
-                if injector is not None:
-                    injector.begin_superstep(superstep)
-                done = self._execute_superstep(superstep, stats)
-            except WorkerCrashError as crash:
-                superstep = self._recover(crash, superstep, stats)
-                continue
-            superstep += 1
-            if done:
-                break
+        self._loop.run(self, stats)
 
         if tracker is not None:
             tracker.observation.num_supersteps = stats.num_supersteps
         return PregelResult(
-            values={v: s.value for v, s in self._states.items()},
+            values={
+                v: s.value for v, s in self._store.states.items()
+            },
             stats=stats,
             bppa=tracker.observation if tracker else None,
             aggregate_history=self._aggregate_history,
@@ -820,27 +428,25 @@ class PregelEngine:
         program = self._program
         ctx = self._ctx
         tracker = self._tracker
+        fabric = self._fabric
         self._exec_counts[superstep] = (
             self._exec_counts.get(superstep, 0) + 1
         )
         trace = self._trace
         if trace is not None:
-            trace.emit(
-                SuperstepStart(
-                    superstep=superstep,
-                    execution=self._exec_counts[superstep],
-                    path=(
-                        "fast" if self._fast_active else "reference"
-                    ),
-                    backend=self.backend_name,
-                )
+            emit_superstep_start(
+                trace,
+                superstep,
+                self._exec_counts[superstep],
+                "fast" if fabric.fast_active else "reference",
+                self.backend_name,
             )
 
-        for w in self._workers:
+        for w in fabric.workers:
             w.reset_counters()
-        fast = self._fast_active
+        fast = fabric.fast_active
         if not fast:
-            self._outbox = defaultdict(list)
+            fabric.reset_outbox()
         self._agg_current = {
             name: agg.initial()
             for name, agg in self._aggregators.items()
@@ -850,13 +456,13 @@ class PregelEngine:
         wake_all = self._wake_all or superstep == 0
         self._wake_all = False
         if self._confined_recovery:
-            self._wake_log[superstep] = wake_all
+            self._store.wake_log[superstep] = wake_all
         if fast:
             active_count = self._compute_pass_fast(wake_all)
-            pending = self._out_pending
+            pending = fabric.out_pending
         else:
             active_count = self._compute_pass_reference(wake_all)
-            pending = sum(len(v) for v in self._outbox.values())
+            pending = sum(len(v) for v in fabric.outbox.values())
         if tracker is not None:
             tracker.record_superstep()
 
@@ -868,7 +474,7 @@ class PregelEngine:
             superstep=superstep,
             aggregates=self._agg_finalized,
             num_active=active_count,
-            num_vertices=len(self._states),
+            num_vertices=len(self._store.states),
             pending_messages=pending,
         )
         program.master_compute(master)
@@ -876,7 +482,7 @@ class PregelEngine:
         removed = self._apply_mutations()
         mutated = removed is not None
         if fast:
-            delivered = self._deliver_fast(superstep, mutated)
+            delivered = fabric.deliver_fast(superstep, mutated)
             if mutated:
                 # The frozen dense index no longer matches the
                 # topology: hand the undelivered inbox to the
@@ -893,24 +499,25 @@ class PregelEngine:
                     )
                 self._disengage_fast_path()
         else:
-            delivered = self._deliver(superstep)
+            delivered = fabric.deliver(superstep)
         if removed:
             # The senders' charges for messages to removed vertices
             # were reversed during delivery; the ownership entries can
             # now be reclaimed (re-added ids were already discarded
             # from ``removed`` by _apply_mutations).
+            owner = self._store.owner
             for vid in removed:
-                self._owner.pop(vid, None)
+                owner.pop(vid, None)
         entry = self._superstep_stats(superstep, active_count)
         stats.supersteps.append(entry)
         stats.record_wall(
             SuperstepWall(
                 superstep=superstep,
                 compute_seconds=[
-                    w.wall_seconds for w in self._workers
+                    w.wall_seconds for w in fabric.workers
                 ],
                 barrier_seconds=[
-                    w.barrier_seconds for w in self._workers
+                    w.barrier_seconds for w in fabric.workers
                 ],
             )
         )
@@ -920,39 +527,8 @@ class PregelEngine:
             # Worker objects from the rank payloads in rank order, so
             # the merged stream is deterministic), the h-relation, and
             # the committed superstep's cost attribution.
-            for w in self._workers:
-                trace.emit(
-                    WorkerProfile(
-                        superstep=superstep,
-                        worker=w.index,
-                        work=w.work,
-                        sent_logical=w.sent_logical,
-                        received_logical=w.received_logical,
-                        sent_network=w.sent_network,
-                        received_network=w.received_network,
-                        sent_remote=w.sent_remote,
-                        wall_seconds=w.wall_seconds,
-                        barrier_seconds=w.barrier_seconds,
-                    )
-                )
-            trace.emit(
-                Barrier(
-                    superstep=superstep,
-                    h=entry.h,
-                    delivered=delivered,
-                )
-            )
-            trace.emit(
-                SuperstepEnd(
-                    superstep=superstep,
-                    active_vertices=active_count,
-                    w=entry.w,
-                    h=entry.h,
-                    cost=entry.cost(self._cost_model),
-                    binding=entry.binding_term(self._cost_model),
-                    checkpoint_cost=entry.checkpoint_cost,
-                    execution=entry.executions,
-                )
+            emit_superstep_commit(
+                trace, fabric.workers, entry, self._cost_model, delivered
             )
 
         if master._halt:
@@ -960,111 +536,17 @@ class PregelEngine:
         if master._activate_all:
             self._wake_all = True
         if delivered == 0 and not self._wake_all:
-            if all(s.halted for s in self._states.values()):
+            if all(
+                s.halted for s in self._store.states.values()
+            ):
                 return True
         return False
 
     def _compute_pass_reference(self, wake_all: bool) -> int:
-        """One superstep's compute calls on the dict path; returns the
-        active-vertex count."""
-        program = self._program
-        ctx = self._ctx
-        tracker = self._tracker
-        inbox = self._inbox
-        states = self._states
-        active_count = 0
-        for worker in self._workers:
-            seg_start = time.perf_counter()
-            for vid in worker.vertex_ids:
-                state = states.get(vid)
-                if state is None:
-                    continue
-                messages = inbox.pop(vid, None)
-                if messages:
-                    state.halted = False
-                elif state.halted and not wake_all:
-                    continue
-                elif wake_all:
-                    state.halted = False
-                messages = messages or []
-                active_count += 1
-                ctx._begin_vertex(state)
-                program.compute(state, messages, ctx)
-                ops = 1 + len(messages) + ctx._sent + ctx._charged
-                worker.work += ops
-                if tracker is not None:
-                    tracker.record_vertex(
-                        vid,
-                        ctx._sent,
-                        len(messages),
-                        ops,
-                        program.state_size(state),
-                    )
-            worker.wall_seconds = time.perf_counter() - seg_start
-        return active_count
+        return reference_compute_pass(self, wake_all)
 
     def _compute_pass_fast(self, wake_all: bool) -> int:
-        """One superstep's compute calls on the dense path.
-
-        Identical visit order, wake/halt transitions, work accounting,
-        and tracker feed as :meth:`_compute_pass_reference`; vertex
-        state and mailboxes are reached by dense index instead of by
-        hashing, and consumed inbox slots are cleared O(active) via
-        the dirty list.
-        """
-        program = self._program
-        ctx = self._ctx
-        tracker = self._tracker
-        compute = program.compute
-        state_size = program.state_size
-        begin_vertex = ctx._begin_vertex
-        dense_states = self._dense_states
-        in_slots = self._in_slots
-        accs = self._accs
-        cnts = self._cnts
-        self._stamp += 1
-        active_count = 0
-        for worker in self._workers:
-            seg_start = time.perf_counter()
-            self._cur_worker = worker
-            self._cur_src = worker.index
-            self._acc = accs[worker.index]
-            if cnts is not None:
-                self._cnt = cnts[worker.index]
-            work = worker.work
-            for idx in range(worker.range_start, worker.range_stop):
-                state = dense_states[idx]
-                messages = in_slots[idx]
-                if messages:
-                    state.halted = False
-                elif state.halted and not wake_all:
-                    continue
-                else:
-                    if wake_all:
-                        state.halted = False
-                    messages = []
-                active_count += 1
-                self._cur_idx = idx
-                begin_vertex(state)
-                compute(state, messages, ctx)
-                ops = 1 + len(messages) + ctx._sent + ctx._charged
-                work += ops
-                if tracker is not None:
-                    tracker.record_vertex(
-                        state.id,
-                        ctx._sent,
-                        len(messages),
-                        ops,
-                        state_size(state),
-                    )
-            worker.work = work
-            if self._acc_touched:
-                self._flush_worker_sends()
-            worker.wall_seconds = time.perf_counter() - seg_start
-        for idx in self._in_dirty:
-            in_slots[idx] = None
-        self._in_dirty = []
-        return active_count
+        return dense_compute_pass(self, wake_all)
 
     # ------------------------------------------------------------------
     # Checkpointing and recovery
@@ -1072,36 +554,21 @@ class PregelEngine:
 
     @property
     def _checkpointing_enabled(self) -> bool:
-        # Periodic checkpoints when an interval is set; a crash-bearing
-        # fault plan forces at least the superstep-0 baseline so the
-        # run can always recover.  Message-only fault plans need no
-        # checkpoints (reliable delivery masks them).
-        return self._checkpoint_interval is not None or (
-            self._fault_plan is not None
-            and self._fault_plan.has_crashes
-        )
+        return self._policy.enabled
 
     def _should_checkpoint(self, superstep: int) -> bool:
-        if not self._checkpointing_enabled:
-            return False
-        latest = self._ckpt_store.latest
-        if latest is None:
-            return True  # the superstep-0 baseline
-        if self._checkpoint_interval is None:
-            return False
-        return (
-            superstep - latest.superstep >= self._checkpoint_interval
-        )
+        return self._policy.due(superstep)
 
     def _write_checkpoint(
         self, superstep: int, stats: RunStats
     ) -> None:
-        ckpt = self._ckpt_store.save(take_checkpoint(self, superstep))
+        store = self._store
+        ckpt = store.ckpt_store.save(take_checkpoint(self, superstep))
         cost = self._cost_model.checkpoint_cost(ckpt.size)
         stats.checkpoints_written += 1
         stats.checkpoint_cost += cost
-        self._ckpt_costs[superstep] = cost
-        self._mutated_since_checkpoint = False
+        store.ckpt_costs[superstep] = cost
+        store.mutated_since_checkpoint = False
         if self._trace is not None:
             self._trace.emit(
                 CheckpointWrite(
@@ -1111,51 +578,31 @@ class PregelEngine:
         if self._confined_recovery:
             # Logged messages before the checkpoint can never be
             # replayed again; reclaim them.
-            self._message_log = {
-                t: log
-                for t, log in self._message_log.items()
-                if t >= superstep
-            }
-            self._wake_log = {
-                t: wake
-                for t, wake in self._wake_log.items()
-                if t >= superstep
-            }
+            store.prune_logs(superstep)
+
+    def _latest_checkpoint(self):
+        return self._store.ckpt_store.latest
 
     def _recover(
         self, crash: WorkerCrashError, superstep: int, stats: RunStats
     ) -> int:
-        """Handle an injected crash; return the superstep to resume at.
+        """Handle an injected crash; return the superstep to resume
+        at.  Delegates to the shared supervision protocol
+        (:meth:`~repro.bsp.loop.SuperstepLoop.recover`), which calls
+        back into :meth:`_rollback`."""
+        return self._loop.recover(self, crash, superstep, stats)
 
-        Raises :class:`RecoveryExhaustedError` when the same superstep
-        has crashed more than ``max_recovery_attempts`` times or no
-        checkpoint exists to restore from.
-        """
-        attempts = self._crash_counts.get(superstep, 0) + 1
-        self._crash_counts[superstep] = attempts
-        if self._trace is not None:
-            self._trace.emit(
-                FaultInjected(
-                    superstep=superstep,
-                    fault="crash",
-                    worker=crash.worker % self._num_workers,
-                    attempt=attempts,
-                )
-            )
-        if attempts > self._max_recovery_attempts:
-            raise RecoveryExhaustedError(superstep, attempts) from crash
-        ckpt = self._ckpt_store.latest
-        if ckpt is None:
-            raise RecoveryExhaustedError(superstep, attempts) from crash
-
-        stats.recovery_attempts += 1
-        # Exponential backoff before the restart: the k-th retry of a
-        # superstep waits 2^(k-1) sync periods.
-        stats.backoff_cost += self._cost_model.L * (
-            2 ** (attempts - 1)
-        )
-
-        if self._confined_recovery and not self._mutated_since_checkpoint:
+    def _rollback(
+        self,
+        crash: WorkerCrashError,
+        superstep: int,
+        stats: RunStats,
+        ckpt,
+    ) -> int:
+        if (
+            self._confined_recovery
+            and not self._store.mutated_since_checkpoint
+        ):
             self._confined_replay(crash, superstep, stats, ckpt)
             return superstep
 
@@ -1179,68 +626,7 @@ class PregelEngine:
         stats: RunStats,
         ckpt,
     ) -> None:
-        """Rebuild only the crashed worker's partition.
-
-        The healthy workers keep their live state; the crashed
-        partition is restored from the checkpoint and its vertices'
-        ``compute`` calls are replayed against the logged per-superstep
-        inboxes, with outgoing messages and aggregator contributions
-        suppressed (their effects are already in the live state of the
-        other workers).  Replay work is charged as recovery cost but
-        does not touch the committed superstep stats.
-        """
-        worker_idx = crash.worker % self._num_workers
-        restored = restore_partition(self, ckpt, worker_idx)
-        if self._trace is not None:
-            self._trace.emit(
-                Rollback(
-                    superstep=superstep,
-                    restored_vertices=restored,
-                    confined=True,
-                )
-            )
-        worker = self._workers[worker_idx]
-        program = self._program
-        ctx = ComputeContext(self)
-        replay_work = 0.0
-        self._replaying = True
-        try:
-            for t in range(ckpt.superstep, superstep):
-                prev_aggs = (
-                    self._aggregate_history[t - 1] if t >= 1 else {}
-                )
-                ctx._begin_superstep(t, prev_aggs)
-                wake_all = self._wake_log.get(t, t == 0)
-                log_t = self._message_log.get(t, {})
-                for vid in worker.vertex_ids:
-                    state = self._states.get(vid)
-                    if state is None:
-                        continue
-                    messages = log_t.get(vid)
-                    if messages:
-                        state.halted = False
-                    elif state.halted and not wake_all:
-                        continue
-                    elif wake_all:
-                        state.halted = False
-                    messages = list(messages) if messages else []
-                    ctx._begin_vertex(state)
-                    program.compute(state, messages, ctx)
-                    replay_work += (
-                        1 + len(messages) + ctx._sent + ctx._charged
-                    )
-        finally:
-            self._replaying = False
-        # The crashed worker lost its incoming queue for the current
-        # superstep; restore it from the delivery log.
-        log_now = self._message_log.get(superstep, {})
-        for vid in worker.vertex_ids:
-            if vid in log_now:
-                self._inbox[vid] = list(log_now[vid])
-            else:
-                self._inbox.pop(vid, None)
-        stats.replay_cost += replay_work
-        stats.supersteps_replayed += superstep - ckpt.superstep
+        confined_replay(self, crash, superstep, stats, ckpt)
 
     # ------------------------------------------------------------------
     # Superstep boundary
@@ -1249,279 +635,16 @@ class PregelEngine:
     def _superstep_stats(
         self, superstep: int, active: int
     ) -> SuperstepStats:
-        ws = self._workers
-        return SuperstepStats(
-            superstep=superstep,
-            work=[w.work for w in ws],
-            sent_logical=[w.sent_logical for w in ws],
-            received_logical=[w.received_logical for w in ws],
-            sent_network=[w.sent_network for w in ws],
-            received_network=[w.received_network for w in ws],
-            active_vertices=active,
-            sent_remote=[w.sent_remote for w in ws],
-            checkpoint_cost=self._ckpt_costs.get(superstep, 0.0),
+        return superstep_profile(
+            self._store.workers,
+            superstep,
+            active,
+            checkpoint_cost=self._store.ckpt_costs.get(superstep, 0.0),
             executions=self._exec_counts.get(superstep, 1),
         )
 
     def _apply_mutations(self) -> Optional[Set[Hashable]]:
-        """Apply the superstep's requested topology mutations.
-
-        Returns ``None`` when no mutation was requested, else the set
-        of removed vertex ids (possibly empty) whose ownership entries
-        the caller reclaims after delivery — delivery still needs
-        ``_owner`` to reverse the senders' charges for messages whose
-        destination was removed.
-        """
-        log = self._ctx._mutations
-        if log.is_empty():
-            return None
-        self._mutated_since_checkpoint = True
-        directed = self._graph.directed
-        for u, v in log.remove_edges:
-            src = self._states.get(u)
-            if src is not None:
-                src.out_edges.pop(v, None)
-            if directed:
-                dst = self._states.get(v)
-                if dst is not None:
-                    dst.in_edges.pop(u, None)
-        removed: Set[Hashable] = set()
-        for vid in log.remove_vertices:
-            state = self._states.pop(vid, None)
-            if state is None:
-                continue
-            removed.add(vid)
-            for src in list(state.in_edges):
-                other = self._states.get(src)
-                if other is not None:
-                    other.out_edges.pop(vid, None)
-            if directed:
-                for dst in list(state.out_edges):
-                    other = self._states.get(dst)
-                    if other is not None:
-                        other.in_edges.pop(vid, None)
-            # Pending outbox messages for vid stay put: _deliver sees
-            # the missing destination, drops them and reverses the
-            # senders' charges so the logical books balance.
-            self._inbox.pop(vid, None)
-        if removed:
-            # Compact the owners' id lists so later supersteps do not
-            # pay a dead-vertex skip per removed vertex forever.
-            for worker in {
-                self._workers[self._owner[vid]] for vid in removed
-            }:
-                worker.vertex_ids = [
-                    v for v in worker.vertex_ids if v not in removed
-                ]
-        for vid, value in log.add_vertices:
-            if vid in self._states:
-                continue
-            state = VertexState(vid, value=value, out_edges={})
-            if directed:
-                state.in_edges = {}
-            self._states[vid] = state
-            widx = self._partitioner(vid) % self._num_workers
-            self._owner[vid] = widx
-            self._workers[widx].vertex_ids.append(vid)
-            # A removed-then-re-added id keeps its (new) ownership.
-            removed.discard(vid)
-        for u, v, weight in log.add_edges:
-            src = self._states.get(u)
-            if src is None:
-                continue
-            src.out_edges[v] = weight
-            if directed:
-                dst = self._states.get(v)
-                if dst is not None:
-                    dst.in_edges[u] = weight
-        log.clear()
-        return removed
-
-    def _deliver(self, superstep: int) -> int:
-        """Move the outbox into next superstep's inbox.
-
-        Applies the combiner per (destination, sending worker),
-        accounts network traffic, charges ``received_logical`` at
-        delivery time (so send/receive totals balance even when a
-        mutation removed the destination — the sender's charges are
-        reversed for such dropped messages), and runs the injected
-        network faults through the reliable-delivery layer.  Returns
-        the number of logical messages delivered.
-        """
-        delivered = 0
-        combiner = self._combiner
-        inbox = self._inbox
-        injector = self._injector
-        log_deliveries = self._confined_recovery
-        log_entry: Dict[Hashable, List[Any]] = {}
-        faults = DeliveryFaults() if injector is not None else None
-        for target, entries in self._outbox.items():
-            if target not in self._states:
-                # Destination removed by a mutation this superstep:
-                # the messages are dropped, so reverse the senders'
-                # charges to keep the logical books balanced.
-                dst_idx = self._owner.get(target)
-                for src_worker, _ in entries:
-                    w = self._workers[src_worker]
-                    w.sent_logical -= 1
-                    if dst_idx is None or src_worker != dst_idx:
-                        w.sent_remote -= 1
-                continue
-            dst_worker = self._workers[self._owner[target]]
-            dst_worker.received_logical += len(entries)
-            if combiner is None:
-                msgs = [m for _, m in entries]
-                for src_worker, _ in entries:
-                    self._workers[src_worker].sent_network += 1
-                dst_worker.received_network += len(entries)
-            else:
-                groups: Dict[int, Any] = {}
-                for src_worker, m in entries:
-                    if src_worker in groups:
-                        groups[src_worker] = combiner.combine(
-                            groups[src_worker], m
-                        )
-                    else:
-                        groups[src_worker] = m
-                msgs = list(groups.values())
-                for src_worker in groups:
-                    self._workers[src_worker].sent_network += 1
-                dst_worker.received_network += len(groups)
-            if injector is not None:
-                faults.absorb(injector.network_faults(len(msgs)))
-            inbox[target].extend(msgs)
-            if log_deliveries:
-                log_entry[target] = list(inbox[target])
-            delivered += len(msgs)
-        if log_deliveries:
-            self._message_log[superstep + 1] = log_entry
-        if injector is not None:
-            injector.commit(faults, self._run_stats)
-            if self._trace is not None and faults.any:
-                self._trace.emit(
-                    FaultInjected(
-                        superstep=superstep,
-                        fault="network",
-                        retransmitted=faults.retransmitted,
-                        duplicated=faults.duplicated,
-                        delayed=faults.delayed,
-                    )
-                )
-        self._outbox = defaultdict(list)
-        return delivered
-
-    def _deliver_fast(self, superstep: int, mutated: bool) -> int:
-        """Slot-mailbox delivery: identical accounting and fault-draw
-        order to :meth:`_deliver`, over dense indices.
-
-        Network counts are the occupied ``(destination, src_worker)``
-        slots — the combiner already folded at send time — and
-        ``received_logical`` comes from the per-slot logical tallies,
-        so the logical/network split matches the reference path
-        exactly.  ``mutated`` enables the removed-destination check
-        (and charge reversal) that the reference path performs; when
-        no mutation was applied this superstep the check is skipped,
-        because every dense id is live by construction.
-        """
-        delivered = 0
-        injector = self._injector
-        workers = self._workers
-        dense = self._dense
-        owner_of = dense.owner_of
-        id_of = dense.id_of
-        in_slots = self._in_slots
-        in_dirty = self._in_dirty
-        states = self._states
-        combining = self._combiner is not None
-        faults = DeliveryFaults() if injector is not None else None
-        if combining:
-            lanes = list(zip(workers, self._accs, self._cnts))
-        else:
-            lanes = list(zip(workers, self._accs))
-        for dst in self._out_dirty:
-            if mutated and id_of[dst] not in states:
-                # Dropped: destination removed this superstep —
-                # reverse the senders' charges, as the reference
-                # delivery does.
-                target_owner = self._owner.get(id_of[dst])
-                if combining:
-                    for lane in lanes:
-                        count = lane[2][dst]
-                        if count:
-                            lane[2][dst] = 0
-                            lane[1][dst] = None
-                            w = lane[0]
-                            w.sent_logical -= count
-                            if (
-                                target_owner is None
-                                or w.index != target_owner
-                            ):
-                                w.sent_remote -= count
-                else:
-                    for lane in lanes:
-                        bucket = lane[1][dst]
-                        if bucket is not None:
-                            lane[1][dst] = None
-                            w = lane[0]
-                            w.sent_logical -= len(bucket)
-                            if (
-                                target_owner is None
-                                or w.index != target_owner
-                            ):
-                                w.sent_remote -= len(bucket)
-                continue
-            dst_worker = workers[owner_of[dst]]
-            if combining:
-                received = 0
-                msgs = []
-                for src_worker, acc_w, cnt_w in lanes:
-                    count = cnt_w[dst]
-                    if count:
-                        cnt_w[dst] = 0
-                        msgs.append(acc_w[dst])
-                        acc_w[dst] = None
-                        received += count
-                        src_worker.sent_network += 1
-                dst_worker.received_logical += received
-                dst_worker.received_network += len(msgs)
-            else:
-                msgs = None
-                for src_worker, acc_w in lanes:
-                    bucket = acc_w[dst]
-                    if bucket is not None:
-                        acc_w[dst] = None
-                        src_worker.sent_network += len(bucket)
-                        if msgs is None:
-                            msgs = bucket
-                        else:
-                            msgs.extend(bucket)
-                received = len(msgs)
-                dst_worker.received_logical += received
-                dst_worker.received_network += received
-            if injector is not None:
-                faults.absorb(injector.network_faults(len(msgs)))
-            existing = in_slots[dst]
-            if existing is None:
-                in_slots[dst] = msgs
-                in_dirty.append(dst)
-            else:  # pragma: no cover - inbox is drained every pass
-                existing.extend(msgs)
-            delivered += len(msgs)
-        self._out_dirty = []
-        self._out_pending = 0
-        if injector is not None:
-            injector.commit(faults, self._run_stats)
-            if self._trace is not None and faults.any:
-                self._trace.emit(
-                    FaultInjected(
-                        superstep=superstep,
-                        fault="network",
-                        retransmitted=faults.retransmitted,
-                        duplicated=faults.duplicated,
-                        delayed=faults.delayed,
-                    )
-                )
-        return delivered
+        return apply_mutations(self)
 
 
 # ---------------------------------------------------------------------

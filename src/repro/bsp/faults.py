@@ -253,6 +253,37 @@ class FaultInjector:
             stats.delay_stalls += 1
 
 
+def inject_network_faults(
+    injector, num_messages: int, stats, trace, superstep: int
+) -> None:
+    """Draw and commit one superstep's message-level faults in a
+    single batch.
+
+    The shared delivery-fault entry point for engines that account a
+    superstep's network traffic as one batch (the GAS, block, and
+    async engines); the Pregel fabric draws per destination instead
+    but commits and traces through the same injector methods, so a
+    faulted run's cost accounting and ``FaultInjected`` stream have
+    the same shape on every engine.  No-op when ``injector`` is None.
+    """
+    if injector is None:
+        return
+    faults = injector.network_faults(num_messages)
+    injector.commit(faults, stats)
+    if trace is not None and faults.any:
+        from repro.trace.events import FaultInjected
+
+        trace.emit(
+            FaultInjected(
+                superstep=superstep,
+                fault="network",
+                retransmitted=faults.retransmitted,
+                duplicated=faults.duplicated,
+                delayed=faults.delayed,
+            )
+        )
+
+
 # ---------------------------------------------------------------------
 # Canonical plans (used by tests, the CLI smoke mode and the bench).
 # ---------------------------------------------------------------------

@@ -20,19 +20,48 @@ Semantics per iteration (sync GAS):
    out-edge).
 
 The run ends when the active set empties (or ``max_iterations``).
+
+Hosted on the shared runtime (``docs/architecture.md``): the engine's
+iteration is driven by a :class:`~repro.bsp.loop.SuperstepLoop` with
+``on_limit="stop"`` (the iteration cap is a soft budget, not an
+error), which brings the full Pregel fault-tolerance surface along —
+``trace=`` lifecycle events reconcilable via
+:func:`~repro.trace.recorder.stats_from_events`, ``fault_plan=`` with
+crash rollback through the
+:class:`~repro.bsp.state.SnapshotRecovery` payload snapshots, and
+``checkpoint_interval=`` on the shared
+:class:`~repro.bsp.loop.CheckpointPolicy` schedule.  Because message
+faults are masked by reliable delivery and crash recovery replays
+deterministically, any faulted GAS run that completes produces values
+identical to the fault-free run.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Set
 
-from repro.bsp.worker import Worker
+from repro.bsp.checkpoint import CheckpointStore, cow_copy
+from repro.bsp.faults import (
+    FaultInjector,
+    FaultPlan,
+    inject_network_faults,
+)
+from repro.bsp.loop import (
+    CheckpointPolicy,
+    SuperstepLoop,
+    emit_superstep_commit,
+    emit_superstep_start,
+)
+from repro.bsp.state import SnapshotRecovery
+from repro.bsp.worker import Worker, superstep_profile
 from repro.graph.graph import Graph
-from repro.graph.partition import HashPartitioner
+from repro.graph.partition import HashPartitioner, build_owner_map
 from repro.metrics.cost_model import BSPCostModel
-from repro.metrics.stats import RunStats, SuperstepStats
+from repro.metrics.stats import RunStats
+from repro.trace.recorder import TraceRecorder, get_default_trace
 
 
 @dataclass(frozen=True)
@@ -90,9 +119,25 @@ class GASResult:
     def num_iterations(self) -> int:
         return self.stats.num_supersteps
 
+    @property
+    def num_supersteps(self) -> int:
+        """Alias satisfying the shared
+        :class:`~repro.bsp.result.RunResult` protocol."""
+        return self.stats.num_supersteps
 
-class GASEngine:
-    """Run a :class:`GASProgram` with per-worker cost accounting."""
+
+class GASEngine(SnapshotRecovery):
+    """Run a :class:`GASProgram` with per-worker cost accounting.
+
+    Accepts the shared fault-tolerance surface
+    (``checkpoint_interval`` / ``fault_plan`` /
+    ``max_recovery_attempts`` / ``trace``) with the same semantics as
+    :class:`~repro.bsp.engine.PregelEngine`: crash faults roll the run
+    back to the latest payload snapshot and replay deterministically;
+    message faults only add retransmission cost.
+    """
+
+    backend_name = "gas"
 
     def __init__(
         self,
@@ -102,21 +147,27 @@ class GASEngine:
         partitioner=None,
         cost_model: Optional[BSPCostModel] = None,
         max_iterations: int = 100_000,
+        checkpoint_interval: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_recovery_attempts: int = 3,
+        trace: Optional[TraceRecorder] = None,
     ):
         self._graph = graph
         self._program = program
         self._num_workers = num_workers
         self._cost_model = cost_model or BSPCostModel()
         self._max_iterations = max_iterations
+        self._trace = trace if trace is not None else get_default_trace()
         partitioner = partitioner or HashPartitioner(num_workers)
-        self._owner = {
-            v: partitioner(v) % num_workers for v in graph.vertices()
-        }
+        self._owner = build_owner_map(
+            graph.vertices(), partitioner, num_workers
+        )
         self._workers = [Worker(i) for i in range(num_workers)]
         self._values: Dict[Hashable, Any] = {
             v: program.initial_value(v, graph)
             for v in graph.vertices()
         }
+        self._active: Set[Hashable] = set()
         self._out_degree = {
             v: graph.out_degree(v) for v in graph.vertices()
         }
@@ -135,129 +186,209 @@ class GASEngine:
                 groups.setdefault(host, []).append(u)
             self._in_hosts[v] = groups
 
+        # The shared supervision stack (loop / policy / injector /
+        # snapshot store — see docs/architecture.md).
+        self._injector = (
+            FaultInjector(fault_plan, num_workers)
+            if fault_plan is not None
+            else None
+        )
+        self._ckpt_store = CheckpointStore()
+        self._ckpt_costs: Dict[int, float] = {}
+        self._exec_counts: Dict[int, int] = {}
+        self._run_stats: Optional[RunStats] = None
+        self._policy = CheckpointPolicy(
+            checkpoint_interval, fault_plan, self._ckpt_store
+        )
+        self._loop = SuperstepLoop(
+            max_supersteps=max_iterations,
+            program_name=getattr(program, "name", "gas-program"),
+            num_workers=num_workers,
+            cost_model=self._cost_model,
+            injector=self._injector,
+            policy=self._policy,
+            trace=self._trace,
+            max_recovery_attempts=max_recovery_attempts,
+            on_limit="stop",
+        )
+
+    # -- SnapshotRecovery payload hooks -----------------------------
+
+    def _snapshot_payload(self) -> Dict[str, Any]:
+        return {
+            "values": {
+                v: cow_copy(val) for v, val in self._values.items()
+            },
+            "active": set(self._active),
+        }
+
+    def _restore_payload(self, payload: Dict[str, Any]) -> None:
+        self._values = {
+            v: cow_copy(val)
+            for v, val in payload["values"].items()
+        }
+        self._active = set(payload["active"])
+
+    # -- the hosted iteration ---------------------------------------
+
     def run(self) -> GASResult:
-        graph = self._graph
-        program = self._program
-        values = self._values
         stats = RunStats(
             num_workers=self._num_workers,
             cost_model=self._cost_model,
         )
-        active: Set[Hashable] = set(graph.vertices())
+        self._run_stats = stats
+        self._active = set(self._graph.vertices())
+        self._loop.run(self, stats)
+        return GASResult(
+            values=dict(self._values),
+            stats=stats,
+            converged=not self._active,
+        )
 
-        for iteration in range(self._max_iterations):
-            if not active:
-                break
-            for w in self._workers:
-                w.reset_counters()
-            next_active: Set[Hashable] = set()
-            # Synchronous semantics: gathers read the previous
-            # iteration's values; applies write a fresh buffer that
-            # becomes visible only at the iteration boundary.
-            new_values = dict(values)
-            # PowerGraph mirror semantics.  Per iteration, network
-            # traffic consists of (a) syncing a vertex value to each
-            # worker hosting one of its edges (once per worker, not
-            # per edge), (b) shipping one folded gather partial per
-            # hosting worker to the gathering vertex's master, and
-            # (c) one activation signal per (vertex, worker) pair.
-            # This is what flattens the hub h-relation that Pregel
-            # suffers.
-            synced_values: Set = set()
-            shipped_signals: Set = set()
-            # Deterministic order regardless of set hashing.
-            for v in sorted(active, key=repr):
-                v_worker = self._owner[v]
-                dst = self._workers[v_worker]
-                total = program.identity()
-                for host, sources in self._in_hosts[v].items():
-                    host_worker = self._workers[host]
-                    for u in sources:
-                        src_worker = self._owner[u]
-                        view = NeighborView(
-                            id=u,
-                            value=values[u],
-                            out_degree=self._out_degree[u],
-                        )
-                        contribution = program.gather(
-                            view, graph.weight(u, v)
-                        )
-                        total = (
-                            contribution
-                            if total is None
-                            else program.fold(total, contribution)
-                        )
-                        # Edge-parallel local work at the hosting
-                        # worker; logical/remote counts stay
-                        # per-edge so they compare with Pregel.
-                        host_worker.work += 1
-                        self._workers[src_worker].sent_logical += 1
-                        dst.received_logical += 1
-                        if src_worker != v_worker:
+    def _execute_superstep(
+        self, superstep: int, stats: RunStats
+    ) -> bool:
+        active = self._active
+        if not active:
+            return True
+        graph = self._graph
+        program = self._program
+        values = self._values
+        self._exec_counts[superstep] = (
+            self._exec_counts.get(superstep, 0) + 1
+        )
+        trace = self._trace
+        if trace is not None:
+            emit_superstep_start(
+                trace,
+                superstep,
+                self._exec_counts[superstep],
+                "gas",
+                self.backend_name,
+            )
+        for w in self._workers:
+            w.reset_counters()
+        seg_start = time.perf_counter()
+        next_active: Set[Hashable] = set()
+        # Synchronous semantics: gathers read the previous
+        # iteration's values; applies write a fresh buffer that
+        # becomes visible only at the iteration boundary.
+        new_values = dict(values)
+        # PowerGraph mirror semantics.  Per iteration, network
+        # traffic consists of (a) syncing a vertex value to each
+        # worker hosting one of its edges (once per worker, not
+        # per edge), (b) shipping one folded gather partial per
+        # hosting worker to the gathering vertex's master, and
+        # (c) one activation signal per (vertex, worker) pair.
+        # This is what flattens the hub h-relation that Pregel
+        # suffers.
+        synced_values: Set = set()
+        shipped_signals: Set = set()
+        # Deterministic order regardless of set hashing.
+        for v in sorted(active, key=repr):
+            v_worker = self._owner[v]
+            dst = self._workers[v_worker]
+            total = program.identity()
+            for host, sources in self._in_hosts[v].items():
+                host_worker = self._workers[host]
+                for u in sources:
+                    src_worker = self._owner[u]
+                    view = NeighborView(
+                        id=u,
+                        value=values[u],
+                        out_degree=self._out_degree[u],
+                    )
+                    contribution = program.gather(
+                        view, graph.weight(u, v)
+                    )
+                    total = (
+                        contribution
+                        if total is None
+                        else program.fold(total, contribution)
+                    )
+                    # Edge-parallel local work at the hosting
+                    # worker; logical/remote counts stay
+                    # per-edge so they compare with Pregel.
+                    host_worker.work += 1
+                    self._workers[src_worker].sent_logical += 1
+                    dst.received_logical += 1
+                    if src_worker != v_worker:
+                        self._workers[
+                            src_worker
+                        ].sent_remote += 1
+                    # (a) value sync: u's value must exist at the
+                    # hosting worker.
+                    if src_worker != host:
+                        key = (u, host)
+                        if key not in synced_values:
+                            synced_values.add(key)
                             self._workers[
                                 src_worker
-                            ].sent_remote += 1
-                        # (a) value sync: u's value must exist at the
-                        # hosting worker.
-                        if src_worker != host:
-                            key = (u, host)
-                            if key not in synced_values:
-                                synced_values.add(key)
-                                self._workers[
-                                    src_worker
-                                ].sent_network += 1
-                                host_worker.received_network += 1
-                    # (b) one partial aggregate per hosting worker.
-                    if host != v_worker:
-                        host_worker.sent_network += 1
-                        dst.received_network += 1
-                # Apply.
-                old = values[v]
-                new = program.apply(v, old, total)
-                new_values[v] = new
-                dst.work += 1
-                # Scatter: signal out-neighbors on significant change.
-                if program.should_scatter(old, new):
-                    for u in graph.neighbors(v):
-                        next_active.add(u)
-                        dst.sent_logical += 1
-                        u_worker = self._owner[u]
-                        self._workers[u_worker].received_logical += 1
-                        if u_worker != v_worker:
-                            dst.sent_remote += 1
-                        # (c) activations of the same target from
-                        # one worker collapse into one signal
-                        # (mirror-side OR).
-                        key = (u, v_worker)
-                        if key not in shipped_signals:
-                            shipped_signals.add(key)
-                            dst.sent_network += 1
-                            self._workers[
-                                u_worker
-                            ].received_network += 1
-            ws = self._workers
-            stats.supersteps.append(
-                SuperstepStats(
-                    superstep=iteration,
-                    work=[w.work for w in ws],
-                    sent_logical=[w.sent_logical for w in ws],
-                    received_logical=[w.received_logical for w in ws],
-                    sent_network=[w.sent_network for w in ws],
-                    received_network=[
-                        w.received_network for w in ws
-                    ],
-                    active_vertices=len(active),
-                    sent_remote=[w.sent_remote for w in ws],
-                )
-            )
-            values = new_values
-            self._values = values
-            active = next_active
-        return GASResult(
-            values=dict(values),
-            stats=stats,
-            converged=not active,
+                            ].sent_network += 1
+                            host_worker.received_network += 1
+                # (b) one partial aggregate per hosting worker.
+                if host != v_worker:
+                    host_worker.sent_network += 1
+                    dst.received_network += 1
+            # Apply.
+            old = values[v]
+            new = program.apply(v, old, total)
+            new_values[v] = new
+            dst.work += 1
+            # Scatter: signal out-neighbors on significant change.
+            if program.should_scatter(old, new):
+                for u in graph.neighbors(v):
+                    next_active.add(u)
+                    dst.sent_logical += 1
+                    u_worker = self._owner[u]
+                    self._workers[u_worker].received_logical += 1
+                    if u_worker != v_worker:
+                        dst.sent_remote += 1
+                    # (c) activations of the same target from
+                    # one worker collapse into one signal
+                    # (mirror-side OR).
+                    key = (u, v_worker)
+                    if key not in shipped_signals:
+                        shipped_signals.add(key)
+                        dst.sent_network += 1
+                        self._workers[
+                            u_worker
+                        ].received_network += 1
+        # The engine interleaves workers vertex-by-vertex, so the
+        # measured wall is attributed to worker 0 (modeled quantities
+        # are per-worker; wall is excluded from byte-identity).
+        self._workers[0].wall_seconds = (
+            time.perf_counter() - seg_start
         )
+        entry = superstep_profile(
+            self._workers,
+            superstep,
+            len(active),
+            checkpoint_cost=self._ckpt_costs.get(superstep, 0.0),
+            executions=self._exec_counts.get(superstep, 1),
+        )
+        # Injected message faults strike the iteration's network
+        # traffic as one batch; reliable delivery masks them, so
+        # this is pure cost accounting.
+        inject_network_faults(
+            self._injector,
+            sum(entry.received_network),
+            stats,
+            trace,
+            superstep,
+        )
+        stats.supersteps.append(entry)
+        if trace is not None:
+            emit_superstep_commit(
+                trace,
+                self._workers,
+                entry,
+                self._cost_model,
+                sum(entry.received_logical),
+            )
+        self._values = new_values
+        self._active = next_active
+        return not next_active
 
 
 def run_gas(

@@ -1,0 +1,146 @@
+"""Compute kernels: the per-superstep vertex-execution loops.
+
+Bottom layer of the decomposed runtime (``docs/architecture.md``).  A
+kernel is a function ``(engine, wake_all) -> active_count`` that runs
+one superstep's ``compute()`` calls against the engine's current
+mailbox layout and returns the number of active vertices.  The two
+Pregel kernels live here:
+
+* :func:`reference_compute_pass` — the dict-path oracle: vertices
+  reached by id hash, inboxes popped from the fabric's dict mailbox;
+* :func:`dense_compute_pass` — the dense fast path: vertices reached
+  by frozen dense index, inboxes read from slot arrays and cleared
+  O(active) via the dirty list.
+
+Both kernels visit vertices in identical order (worker index order,
+then the worker's ``vertex_ids`` order — the dense ranges mirror it),
+apply identical wake/halt transitions, charge identical work
+(``1 + len(messages) + sent + charged``) and feed the BPPA tracker
+identically, which is one third of the engine's byte-identity
+contract (the fabric's send/delivery ordering and the loop's
+event/recovery ordering are the other two).
+
+The other engines' loops play the same role in their stacks — the GAS
+engine's gather/apply/scatter pass, the block engine's per-block
+compute, the async engine's FIFO update loop — but live with their
+engines (:mod:`repro.bsp.gas`, :mod:`repro.bsp.block`,
+:mod:`repro.bsp.async_engine`): each is inseparable from its engine's
+state layout, while the two Pregel kernels share one engine and are
+swapped at runtime, which is why they are split out here.
+
+The process-parallel backend (:mod:`repro.bsp.parallel`) replaces
+:func:`dense_compute_pass` with a fan-out to real OS processes; the
+serial kernels remain its in-process fallback.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def reference_compute_pass(engine, wake_all: bool) -> int:
+    """One superstep's compute calls on the dict path; returns the
+    active-vertex count."""
+    program = engine._program
+    ctx = engine._ctx
+    tracker = engine._tracker
+    fabric = engine._fabric
+    inbox = fabric.inbox
+    states = fabric.states
+    active_count = 0
+    for worker in fabric.workers:
+        seg_start = time.perf_counter()
+        for vid in worker.vertex_ids:
+            state = states.get(vid)
+            if state is None:
+                continue
+            messages = inbox.pop(vid, None)
+            if messages:
+                state.halted = False
+            elif state.halted and not wake_all:
+                continue
+            elif wake_all:
+                state.halted = False
+            messages = messages or []
+            active_count += 1
+            ctx._begin_vertex(state)
+            program.compute(state, messages, ctx)
+            ops = 1 + len(messages) + ctx._sent + ctx._charged
+            worker.work += ops
+            if tracker is not None:
+                tracker.record_vertex(
+                    vid,
+                    ctx._sent,
+                    len(messages),
+                    ops,
+                    program.state_size(state),
+                )
+        worker.wall_seconds = time.perf_counter() - seg_start
+    return active_count
+
+
+def dense_compute_pass(engine, wake_all: bool) -> int:
+    """One superstep's compute calls on the dense path.
+
+    Identical visit order, wake/halt transitions, work accounting,
+    and tracker feed as :func:`reference_compute_pass`; vertex state
+    and mailboxes are reached by dense index instead of by hashing,
+    and consumed inbox slots are cleared O(active) via the dirty
+    list.  Binds the fabric's per-worker accumulator lane and
+    per-vertex send context (``cur_worker``/``cur_src``/``cur_idx``)
+    that the fast send paths read.
+    """
+    program = engine._program
+    ctx = engine._ctx
+    tracker = engine._tracker
+    fabric = engine._fabric
+    compute = program.compute
+    state_size = program.state_size
+    begin_vertex = ctx._begin_vertex
+    dense_states = fabric.dense_states
+    in_slots = fabric.in_slots
+    accs = fabric.accs
+    cnts = fabric.cnts
+    fabric.stamp += 1
+    active_count = 0
+    for worker in fabric.workers:
+        seg_start = time.perf_counter()
+        fabric.cur_worker = worker
+        fabric.cur_src = worker.index
+        fabric.acc = accs[worker.index]
+        if cnts is not None:
+            fabric.cnt = cnts[worker.index]
+        work = worker.work
+        for idx in range(worker.range_start, worker.range_stop):
+            state = dense_states[idx]
+            messages = in_slots[idx]
+            if messages:
+                state.halted = False
+            elif state.halted and not wake_all:
+                continue
+            else:
+                if wake_all:
+                    state.halted = False
+                messages = []
+            active_count += 1
+            fabric.cur_idx = idx
+            begin_vertex(state)
+            compute(state, messages, ctx)
+            ops = 1 + len(messages) + ctx._sent + ctx._charged
+            work += ops
+            if tracker is not None:
+                tracker.record_vertex(
+                    state.id,
+                    ctx._sent,
+                    len(messages),
+                    ops,
+                    state_size(state),
+                )
+        worker.work = work
+        if fabric.acc_touched:
+            fabric.flush_worker_sends()
+        worker.wall_seconds = time.perf_counter() - seg_start
+    for idx in fabric.in_dirty:
+        in_slots[idx] = None
+    fabric.in_dirty = []
+    return active_count

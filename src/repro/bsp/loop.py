@@ -1,0 +1,308 @@
+"""The shared superstep loop: scheduling, barriers, halting guards,
+checkpoint policy, and crash supervision for every engine.
+
+This is the top layer of the decomposed runtime
+(``docs/architecture.md``): one :class:`SuperstepLoop` drives the
+Pregel engine, the GAS engine, the block engine, and (round-wise) the
+async engine.  The loop owns the *control* concerns that every
+execution model shares —
+
+* the max-superstep guard (raise :class:`SuperstepLimitExceeded`, or
+  stop gracefully for engines whose cap is a soft budget);
+* the checkpoint schedule (:class:`CheckpointPolicy`);
+* arming the fault injector at each superstep boundary;
+* the crash-supervision protocol: attempt bookkeeping, the
+  ``FaultInjected`` crash event, exponential backoff accounting, and
+  dispatch to the host's rollback.
+
+The *data* concerns stay with the host engine, reached through a
+small host protocol (duck-typed; see :class:`SuperstepLoop.run`):
+
+``_execute_superstep(superstep, stats) -> bool``
+    Run one superstep; return True when the run is finished.
+``_write_checkpoint(superstep, stats)``
+    Snapshot engine state (only called when the policy says so).
+``_latest_checkpoint() -> checkpoint | None``
+    The most recent snapshot, for recovery.
+``_recover(crash, superstep, stats) -> int``
+    Handle an injected crash; return the superstep to resume at.
+    Hosts normally delegate straight back to
+    :meth:`SuperstepLoop.recover`, which runs the shared protocol and
+    calls the host's ``_rollback(crash, superstep, stats, ckpt)``;
+    the indirection exists so backends can hook crash handling (the
+    process-parallel backend kills the crashed rank's real OS process
+    before recovering).
+
+The trace helpers at the bottom emit the per-superstep lifecycle
+events (``SuperstepStart``, ``WorkerProfile``/``Barrier``/
+``SuperstepEnd``) identically for every engine, so
+:func:`repro.trace.recorder.stats_from_events` reconciles any hosted
+run's trace with its ``RunStats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bsp.faults import FaultInjector, FaultPlan
+from repro.errors import (
+    CheckpointError,
+    RecoveryExhaustedError,
+    SuperstepLimitExceeded,
+    WorkerCrashError,
+)
+from repro.metrics.cost_model import BSPCostModel
+from repro.metrics.stats import RunStats, SuperstepStats
+from repro.trace.events import (
+    Barrier,
+    FaultInjected,
+    SuperstepEnd,
+    SuperstepStart,
+    WorkerProfile,
+)
+
+
+class CheckpointPolicy:
+    """When to snapshot: the schedule every engine shares.
+
+    Periodic checkpoints when ``interval`` is set; a crash-bearing
+    fault plan forces at least the superstep-0 baseline so the run can
+    always recover.  Message-only fault plans need no checkpoints
+    (reliable delivery masks them).
+    """
+
+    def __init__(
+        self,
+        interval: Optional[int],
+        fault_plan: Optional[FaultPlan],
+        store,
+    ):
+        if interval is not None and interval < 1:
+            raise CheckpointError(
+                "checkpoint_interval must be >= 1, got "
+                f"{interval}"
+            )
+        self.interval = interval
+        self.fault_plan = fault_plan
+        self.store = store
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval is not None or (
+            self.fault_plan is not None
+            and self.fault_plan.has_crashes
+        )
+
+    def due(self, superstep: int) -> bool:
+        if not self.enabled:
+            return False
+        latest = self.store.latest
+        if latest is None:
+            return True  # the superstep-0 baseline
+        if self.interval is None:
+            return False
+        return superstep - latest.superstep >= self.interval
+
+
+class SuperstepLoop:
+    """Drives a host engine superstep by superstep.
+
+    Parameters
+    ----------
+    max_supersteps:
+        The superstep bound.
+    program_name:
+        Used in the :class:`SuperstepLimitExceeded` message.
+    num_workers:
+        For folding an injected crash's worker index into range.
+    cost_model:
+        Charges the exponential recovery backoff.
+    injector:
+        Optional :class:`~repro.bsp.faults.FaultInjector`; armed at
+        every superstep boundary (raising ``WorkerCrashError`` for
+        scheduled crashes).
+    policy:
+        Optional :class:`CheckpointPolicy`; when due, the host's
+        ``_write_checkpoint`` runs *before* the superstep executes.
+    trace:
+        Optional recorder for crash ``FaultInjected`` events.
+    max_recovery_attempts:
+        Per-superstep crash budget before
+        :class:`RecoveryExhaustedError`.
+    on_limit:
+        ``"raise"`` (Pregel: exceeding the bound is an error) or
+        ``"stop"`` (GAS/block/async: the bound is a soft budget —
+        ``run`` returns False and the host reports
+        ``converged=False``).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_supersteps: int,
+        program_name: str,
+        num_workers: int,
+        cost_model: BSPCostModel,
+        injector: Optional[FaultInjector] = None,
+        policy: Optional[CheckpointPolicy] = None,
+        trace=None,
+        max_recovery_attempts: int = 3,
+        on_limit: str = "raise",
+    ):
+        if max_recovery_attempts < 1:
+            raise ValueError(
+                "max_recovery_attempts must be >= 1, got "
+                f"{max_recovery_attempts}"
+            )
+        self.max_supersteps = max_supersteps
+        self.program_name = program_name
+        self.num_workers = num_workers
+        self.cost_model = cost_model
+        self.injector = injector
+        self.policy = policy
+        self.trace = trace
+        self.max_recovery_attempts = max_recovery_attempts
+        self.on_limit = on_limit
+        #: superstep -> crash count (the per-superstep crash budget).
+        self.crash_counts: Dict[int, int] = {}
+
+    def run(self, host, stats: RunStats) -> bool:
+        """Supervise ``host`` to termination.
+
+        Returns True when the host reported completion, False when the
+        superstep bound was hit under ``on_limit="stop"``.  Under
+        ``on_limit="raise"`` hitting the bound raises
+        :class:`SuperstepLimitExceeded` instead.
+        """
+        injector = self.injector
+        policy = self.policy
+        superstep = 0
+        while True:
+            if superstep >= self.max_supersteps:
+                if self.on_limit == "raise":
+                    raise SuperstepLimitExceeded(
+                        self.max_supersteps, self.program_name
+                    )
+                return False
+            if policy is not None and policy.due(superstep):
+                host._write_checkpoint(superstep, stats)
+            try:
+                if injector is not None:
+                    injector.begin_superstep(superstep)
+                done = host._execute_superstep(superstep, stats)
+            except WorkerCrashError as crash:
+                superstep = host._recover(crash, superstep, stats)
+                continue
+            superstep += 1
+            if done:
+                return True
+
+    def recover(
+        self,
+        host,
+        crash: WorkerCrashError,
+        superstep: int,
+        stats: RunStats,
+    ) -> int:
+        """The shared crash-supervision protocol.
+
+        Bookkeeps the per-superstep attempt budget, emits the crash
+        event, charges exponential backoff (the k-th retry of a
+        superstep waits ``2^(k-1)`` sync periods) and hands off to the
+        host's ``_rollback``; raises
+        :class:`RecoveryExhaustedError` when the budget is exhausted
+        or no checkpoint exists to restore from.
+        """
+        attempts = self.crash_counts.get(superstep, 0) + 1
+        self.crash_counts[superstep] = attempts
+        if self.trace is not None:
+            self.trace.emit(
+                FaultInjected(
+                    superstep=superstep,
+                    fault="crash",
+                    worker=crash.worker % self.num_workers,
+                    attempt=attempts,
+                )
+            )
+        if attempts > self.max_recovery_attempts:
+            raise RecoveryExhaustedError(superstep, attempts) from crash
+        ckpt = host._latest_checkpoint()
+        if ckpt is None:
+            raise RecoveryExhaustedError(superstep, attempts) from crash
+
+        stats.recovery_attempts += 1
+        stats.backoff_cost += self.cost_model.L * (
+            2 ** (attempts - 1)
+        )
+        return host._rollback(crash, superstep, stats, ckpt)
+
+
+# ---------------------------------------------------------------------
+# Shared trace emission
+# ---------------------------------------------------------------------
+
+
+def emit_superstep_start(
+    trace, superstep: int, execution: int, path: str, backend: str
+) -> None:
+    """The superstep-opening lifecycle event, identical across
+    engines (``path``/``backend`` are informational fields)."""
+    trace.emit(
+        SuperstepStart(
+            superstep=superstep,
+            execution=execution,
+            path=path,
+            backend=backend,
+        )
+    )
+
+
+def emit_superstep_commit(
+    trace,
+    workers,
+    entry: SuperstepStats,
+    cost_model: BSPCostModel,
+    delivered: int,
+) -> None:
+    """The barrier block: per-worker profiles in rank order, the
+    h-relation, and the committed superstep's cost attribution.
+
+    Byte-identical event construction for every engine, which is what
+    lets :func:`repro.trace.recorder.stats_from_events` rebuild any
+    hosted run's ``RunStats.supersteps`` from its trace.
+    """
+    superstep = entry.superstep
+    for w in workers:
+        trace.emit(
+            WorkerProfile(
+                superstep=superstep,
+                worker=w.index,
+                work=w.work,
+                sent_logical=w.sent_logical,
+                received_logical=w.received_logical,
+                sent_network=w.sent_network,
+                received_network=w.received_network,
+                sent_remote=w.sent_remote,
+                wall_seconds=w.wall_seconds,
+                barrier_seconds=w.barrier_seconds,
+            )
+        )
+    trace.emit(
+        Barrier(
+            superstep=superstep,
+            h=entry.h,
+            delivered=delivered,
+        )
+    )
+    trace.emit(
+        SuperstepEnd(
+            superstep=superstep,
+            active_vertices=entry.active_vertices,
+            w=entry.w,
+            h=entry.h,
+            cost=entry.cost(cost_model),
+            binding=entry.binding_term(cost_model),
+            checkpoint_cost=entry.checkpoint_cost,
+            execution=entry.executions,
+        )
+    )

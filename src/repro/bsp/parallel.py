@@ -612,9 +612,10 @@ class ParallelPregelEngine(PregelEngine):
                 )
 
     def _init_payload(self, rank: int) -> Dict[str, Any]:
-        dense = self._dense
+        fabric = self._fabric
+        dense = fabric.dense
         start, stop = dense.ranges[rank]
-        dense_states = self._dense_states
+        dense_states = fabric.dense_states
         snaps = []
         for idx in range(start, stop):
             state = dense_states[idx]
@@ -634,8 +635,8 @@ class ParallelPregelEngine(PregelEngine):
             "owner_of": dense.owner_of,
             "range": (start, stop),
             "states": snaps,
-            "dense_out": self._dense_out[start:stop],
-            "remote_out": self._remote_out[start:stop],
+            "dense_out": fabric.dense_out[start:stop],
+            "remote_out": fabric.remote_out[start:stop],
             "program": self._program,
             "combiner": self._combiner,
             "track_bppa": self._tracker is not None,
@@ -644,9 +645,10 @@ class ParallelPregelEngine(PregelEngine):
         }
 
     def _reload_payload(self, rank: int) -> Dict[str, Any]:
-        dense = self._dense
+        fabric = self._fabric
+        dense = fabric.dense
         start, stop = dense.ranges[rank]
-        dense_states = self._dense_states
+        dense_states = fabric.dense_states
         return {
             "states": [
                 (
@@ -783,9 +785,10 @@ class ParallelPregelEngine(PregelEngine):
 
     def _compute_pass_parallel(self, wake_all: bool) -> int:
         links = self._links
-        dense = self._dense
+        fabric = self._fabric
+        dense = fabric.dense
         owner_of = dense.owner_of
-        in_slots = self._in_slots
+        in_slots = fabric.in_slots
         # Program state may have been mutated by master_compute since
         # the last superstep; ship it only when its bytes changed.
         try:
@@ -803,7 +806,7 @@ class ParallelPregelEngine(PregelEngine):
         inbound: List[List[Tuple[int, List[Any]]]] = [
             [] for _ in links
         ]
-        for idx in self._in_dirty:
+        for idx in fabric.in_dirty:
             inbound[owner_of[idx]].append((idx, in_slots[idx]))
         superstep = self._ctx.superstep
         agg_prev = self._agg_finalized
@@ -848,18 +851,19 @@ class ParallelPregelEngine(PregelEngine):
         Everything downstream — delivery, combining, fault draws,
         master compute — runs the unchanged serial code against this
         state."""
-        dense_states = self._dense_states
+        fabric = self._fabric
+        dense_states = fabric.dense_states
         tracker = self._tracker
         workers = self._workers
-        accs = self._accs
-        cnts = self._cnts
+        accs = fabric.accs
+        cnts = fabric.cnts
         # Same per-pass stamp discipline as the serial fast pass:
         # first touches dedup across ranks in rank order, recovering
         # the reference outbox's key insertion order.
-        self._stamp += 1
-        stamp = self._stamp
-        seen = self._slot_seen
-        dirty = self._out_dirty
+        fabric.stamp += 1
+        stamp = fabric.stamp
+        seen = fabric.slot_seen
+        dirty = fabric.out_dirty
         aggregate = self._aggregate
         mutation_log = self._ctx._mutations
         max_seconds = max(pl["seconds"] for pl in payloads)
@@ -911,11 +915,11 @@ class ParallelPregelEngine(PregelEngine):
                 )
                 mutation_log.add_vertices.extend(mut.add_vertices)
                 mutation_log.add_edges.extend(mut.add_edges)
-        self._out_pending = total_pending
-        in_slots = self._in_slots
-        for idx in self._in_dirty:
+        fabric.out_pending = total_pending
+        in_slots = fabric.in_slots
+        for idx in fabric.in_dirty:
             in_slots[idx] = None
-        self._in_dirty = []
+        fabric.in_dirty = []
         self.parallel_supersteps += 1
         return active_count
 

@@ -1,0 +1,48 @@
+"""The common result protocol every engine's run() satisfies.
+
+The decomposed runtime hosts four execution models — Pregel
+(:class:`~repro.bsp.engine.PregelResult`), GAS
+(:class:`~repro.bsp.gas.GASResult`), block-centric
+(:class:`~repro.bsp.block.BlockResult`) and asynchronous
+(:class:`~repro.bsp.async_engine.AsyncResult`).  Each keeps its
+model-specific fields (iteration counts, update totals, block maps),
+but all of them expose the shared surface below, so harnesses — the
+CLI's engine smoke, the differential fuzzer, cross-model cost
+comparisons — can consume any engine's result uniformly:
+
+``values``
+    The converged per-vertex answers.
+``stats``
+    The :class:`~repro.metrics.stats.RunStats` ledger (per-superstep
+    worker profiles, cost-model totals, recovery overhead).
+``num_supersteps``
+    How many supersteps (rounds, for the async engine) committed.
+
+The protocol is ``runtime_checkable`` so ``isinstance(result,
+RunResult)`` is a structural check — no result type inherits from
+anything here.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+from repro.metrics.stats import RunStats
+
+
+@runtime_checkable
+class RunResult(Protocol):
+    """Structural type of every engine's run() result."""
+
+    values: Dict[Hashable, Any]
+    stats: Optional[RunStats]
+
+    @property
+    def num_supersteps(self) -> int: ...

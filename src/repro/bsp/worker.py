@@ -11,7 +11,9 @@ superstep boundary.
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Hashable, List, Sequence
+
+from repro.metrics.stats import SuperstepStats
 
 
 class Worker:
@@ -71,3 +73,31 @@ class Worker:
             f"<Worker {self.index} vertices={len(self.vertex_ids)} "
             f"work={self.work}>"
         )
+
+
+def superstep_profile(
+    workers: Sequence[Worker],
+    superstep: int,
+    active: int,
+    checkpoint_cost: float = 0.0,
+    executions: int = 1,
+) -> SuperstepStats:
+    """Freeze the workers' per-superstep counters into one
+    :class:`~repro.metrics.stats.SuperstepStats` entry.
+
+    The single construction site shared by every engine (Pregel, GAS,
+    block, async), so the per-worker column order and field mapping
+    cannot drift between them.
+    """
+    return SuperstepStats(
+        superstep=superstep,
+        work=[w.work for w in workers],
+        sent_logical=[w.sent_logical for w in workers],
+        received_logical=[w.received_logical for w in workers],
+        sent_network=[w.sent_network for w in workers],
+        received_network=[w.received_network for w in workers],
+        active_vertices=active,
+        sent_remote=[w.sent_remote for w in workers],
+        checkpoint_cost=checkpoint_cost,
+        executions=executions,
+    )

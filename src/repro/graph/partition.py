@@ -83,6 +83,70 @@ def stable_hash(vertex: Hashable) -> int:
     return zlib.crc32(_canonical_bytes(vertex)) & 0xFFFFFFFF
 
 
+def canonical_sort_key(value: Hashable) -> Tuple:
+    """A total-order sort key over mixed-type vertex ids.
+
+    Same type-tag discipline as :func:`_canonical_bytes` /
+    :func:`stable_hash`, but producing a *comparable* key instead of a
+    hash: ids group by type rank, and within a rank they order by
+    value — numbers numerically (so ``2 < 10``, where ``key=repr``
+    would give ``"10" < "2"``), strings and bytes lexicographically,
+    tuples element-wise on recursively canonical keys, frozensets as
+    sorted element keys.  Anything unrecognized falls back to ``repr``
+    within its own rank, which is stable for the builtin types.
+    """
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        # Rank with the numbers (bool is an int in Python), so
+        # False/True order as 0/1 among numeric ids.
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    if isinstance(value, bytes):
+        return (3, value)
+    if isinstance(value, tuple):
+        return (4, tuple(canonical_sort_key(item) for item in value))
+    if isinstance(value, frozenset):
+        return (
+            5,
+            tuple(sorted(canonical_sort_key(item) for item in value)),
+        )
+    return (9, type(value).__name__, repr(value))
+
+
+def owner_for(
+    vertex: Hashable, partitioner: Partitioner, num_partitions: int
+) -> int:
+    """The worker index owning ``vertex``: ``partitioner(v) % p``.
+
+    The single definition of the ownership rule.  Every engine — the
+    Pregel state store, its mutation path, the GAS vertex-cut mirror
+    map, the block router — resolves ownership through here (or
+    :func:`build_owner_map`), so a partitioner returning out-of-range
+    indices is clamped identically everywhere.
+    """
+    return partitioner(vertex) % num_partitions
+
+
+def build_owner_map(
+    vertices,
+    partitioner: Partitioner,
+    num_partitions: int,
+) -> Dict[Hashable, int]:
+    """Materialize ``{vertex: owner_for(vertex)}`` over ``vertices``.
+
+    Iteration order (and thus dict insertion order) follows
+    ``vertices``, which the engines rely on for deterministic worker
+    vertex lists.
+    """
+    return {
+        v: partitioner(v) % num_partitions for v in vertices
+    }
+
+
 @dataclass(frozen=True)
 class DenseIndex:
     """A frozen id ↔ dense-int table over a fixed vertex partition.

@@ -29,7 +29,15 @@ import random
 
 import pytest
 
-from repro.bsp import create_engine, crash_plan, drop_plan
+from repro.algorithms.block_programs import BlockHashMin
+from repro.algorithms.gas_programs import HashMinGAS
+from repro.bsp import (
+    BlockEngine,
+    GASEngine,
+    create_engine,
+    crash_plan,
+    drop_plan,
+)
 from repro.bsp.combiner import resolve_combiner
 from repro.graph import erdos_renyi_graph
 from tests.conftest import WORKLOADS
@@ -167,3 +175,100 @@ def test_differential_fuzz(
     # >= because crash plans re-execute rolled-back supersteps on the
     # pool too.
     assert par.parallel_supersteps >= ref.stats.num_supersteps, repro
+
+
+# ---------------------------------------------------------------------
+# The re-hosted engines (GAS / block) under the same fault plans: a
+# faulted run must be byte-identical to the clean run (crash recovery
+# replays to the same answer; reliable delivery masks message faults),
+# and a repeated faulted run must be byte-identical to itself.
+# ---------------------------------------------------------------------
+
+REHOSTED_ENGINES = [
+    (
+        "gas",
+        lambda graph, kwargs: GASEngine(
+            graph, HashMinGAS(), num_workers=4, **kwargs
+        ).run(),
+    ),
+    (
+        "block",
+        lambda graph, kwargs: BlockEngine(
+            graph, BlockHashMin(), num_blocks=4, **kwargs
+        ).run(),
+    ),
+]
+
+REHOSTED_FAULT_MODES = [
+    ("clean", None),
+    ("crash", lambda: crash_plan(superstep=1, worker=0, seed=9)),
+    ("msg-drop", lambda: drop_plan(rate=0.25, seed=9)),
+]
+
+
+def _value_bytes(values):
+    return [
+        (repr(k), pickle.dumps(v))
+        for k, v in sorted(values.items(), key=lambda kv: repr(kv[0]))
+    ]
+
+
+@pytest.mark.parametrize(
+    "fault_name,make_plan",
+    REHOSTED_FAULT_MODES,
+    ids=[f[0] for f in REHOSTED_FAULT_MODES],
+)
+@pytest.mark.parametrize(
+    "kind,runner",
+    REHOSTED_ENGINES,
+    ids=[e[0] for e in REHOSTED_ENGINES],
+)
+def test_rehosted_fault_determinism(kind, runner, fault_name, make_plan):
+    graph = erdos_renyi_graph(36, 0.12, seed=7)
+    clean = runner(graph, {})
+    # The workload must be long enough for the superstep-1 crash and
+    # the message-fault draws to actually strike.
+    assert clean.stats.num_supersteps >= 2, kind
+
+    def faulted_kwargs():
+        if make_plan is None:
+            return {}
+        return {"checkpoint_interval": 2, "fault_plan": make_plan()}
+
+    got = runner(graph, faulted_kwargs())
+    assert _value_bytes(got.values) == _value_bytes(clean.values), (
+        f"{kind}/{fault_name}: faulted values diverged from clean run"
+    )
+    assert got.converged == clean.converged
+    if fault_name == "crash":
+        assert got.stats.recovery_attempts >= 1
+        assert got.stats.checkpoints_written >= 1
+        assert got.stats.supersteps_replayed >= 1
+    if fault_name == "msg-drop":
+        assert got.stats.retransmitted_messages > 0
+    # Committed per-superstep compute/traffic columns match the clean
+    # run entry for entry (replay re-executes byte-identically); only
+    # the fault-tolerance annotations (checkpoint_cost, executions)
+    # may differ.
+    def modeled_columns(entries):
+        return [
+            (
+                e.superstep,
+                e.work,
+                e.sent_logical,
+                e.received_logical,
+                e.sent_network,
+                e.received_network,
+                e.sent_remote,
+                e.active_vertices,
+            )
+            for e in entries
+        ]
+
+    assert modeled_columns(got.stats.supersteps) == modeled_columns(
+        clean.stats.supersteps
+    )
+    # And the whole faulted run is repeatable bit for bit.
+    again = runner(graph, faulted_kwargs())
+    assert _value_bytes(again.values) == _value_bytes(got.values)
+    assert pickle.dumps(again.stats) == pickle.dumps(got.stats)
