@@ -1,0 +1,355 @@
+"""Chaos soak bench: OS-level failures in a loop.
+
+Where ``bench_recovery.py`` measures the cost model of *injected*
+faults, this bench batters the runtime with *real* operating-system
+failures, round after round, and demands the determinism oracle hold
+every time:
+
+* ``rank-sigkill`` — a pool rank SIGKILLs itself mid-superstep; the
+  supervisor must restart the pool and finish byte-identical to the
+  serial run;
+* ``rank-hang`` — a rank wedges in an endless sleep; the progress
+  deadline must detect it within ``rank_stall_timeout`` and the run
+  must still match;
+* ``kill-resume`` — a whole run (serial and parallel) is SIGKILLed in
+  a subprocess at a superstep boundary, then resumed from its durable
+  checkpoints in a fresh interpreter; the resumed digest must equal
+  the uninterrupted baseline's;
+* ``corrupt-fallback`` — the newest durable checkpoint is truncated
+  before resume; the store must fall back to the older intact
+  generation and the run must still match;
+* ``faulted-durable`` — an injected crash plan runs with durable
+  checkpoints, is interrupted, and resumes mid-fault-stream.
+
+Run one round per scenario with::
+
+    pytest benchmarks/bench_chaos.py --benchmark-only -s
+
+or soak for longer (JSON summary, nonzero exit on any breach)::
+
+    python benchmarks/bench_chaos.py --rounds 5 --out chaos.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.algorithms.pagerank import PageRank
+from repro.bsp.engine import PregelEngine, run_program
+from repro.bsp.faults import chaos_plan
+from repro.bsp.parallel import ParallelPregelEngine
+from repro.core.chaos import (
+    CoordinatorKiller,
+    RankHanger,
+    RankKiller,
+    canonical_result,
+    chaos_graph,
+    result_digest,
+    truncate_file,
+)
+from repro.errors import SuperstepLimitExceeded
+
+NUM_WORKERS = 4
+
+
+def _graph(scale: float, seed: int):
+    return chaos_graph(max(16, int(40 * scale)), seed=seed)
+
+
+def _row(name: str, started: float, **extra) -> Dict:
+    row = {"scenario": name, "ok": True}
+    row.update(extra)
+    row["seconds"] = round(time.perf_counter() - started, 3)
+    return row
+
+
+def scenario_rank_sigkill(workdir: str, seed: int, scale: float):
+    started = time.perf_counter()
+    graph = _graph(scale, seed)
+    flag = os.path.join(workdir, "kill-once")
+    baseline = PregelEngine(
+        graph,
+        RankKiller(flag_path=flag, num_supersteps=8),
+        num_workers=NUM_WORKERS,
+        seed=seed,
+    ).run()
+    engine = ParallelPregelEngine(
+        graph,
+        RankKiller(flag_path=flag, num_supersteps=8),
+        num_workers=NUM_WORKERS,
+        seed=seed,
+        rank_restart_backoff=0.01,
+    )
+    result = engine.run()
+    assert canonical_result(result) == canonical_result(baseline)
+    assert engine.rank_restarts >= 1
+    assert engine.parallel_disabled_reason is None
+    return _row(
+        "rank-sigkill", started, restarts=engine.rank_restarts
+    )
+
+
+def scenario_rank_hang(workdir: str, seed: int, scale: float):
+    started = time.perf_counter()
+    graph = _graph(scale, seed)
+    flag = os.path.join(workdir, "hang-once")
+    kwargs = dict(
+        flag_path=flag, hang_superstep=2, num_supersteps=6
+    )
+    baseline = PregelEngine(
+        graph, RankHanger(**kwargs), num_workers=2, seed=seed
+    ).run()
+    engine = ParallelPregelEngine(
+        graph,
+        RankHanger(**kwargs),
+        num_workers=2,
+        seed=seed,
+        rank_stall_timeout=1.0,
+        rank_heartbeat_interval=0.1,
+        rank_restart_backoff=0.01,
+    )
+    result = engine.run()
+    assert canonical_result(result) == canonical_result(baseline)
+    stalls = [
+        reason
+        for _, _, reason in engine.rank_failures
+        if "stalled" in reason
+    ]
+    assert stalls, engine.rank_failures
+    return _row("rank-hang", started, stalls=len(stalls))
+
+
+def _chaos_subprocess(*argv):
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CHAOS_KILL_AT", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.core.chaos", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+def scenario_kill_resume(
+    workdir: str, seed: int, scale: float, backend: str = "serial"
+):
+    started = time.perf_counter()
+    directory = os.path.join(workdir, f"ck-{backend}")
+    killed = _chaos_subprocess(
+        "--backend",
+        backend,
+        "--checkpoint-dir",
+        directory,
+        "--kill-at",
+        "6",
+    )
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+    resumed = _chaos_subprocess(
+        "--backend", backend, "--checkpoint-dir", directory, "--resume"
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    digest = next(
+        line
+        for line in resumed.stdout.splitlines()
+        if line.startswith("digest=")
+    )
+    baseline = run_program(
+        chaos_graph(40, seed=3),
+        CoordinatorKiller(num_supersteps=12),
+        num_workers=4,
+        seed=3,
+        checkpoint_interval=2,
+    )
+    assert digest == f"digest={result_digest(baseline)}"
+    return _row(f"kill-resume-{backend}", started)
+
+
+def scenario_corrupt_fallback(
+    workdir: str, seed: int, scale: float
+):
+    started = time.perf_counter()
+    graph = _graph(scale, seed)
+    directory = os.path.join(workdir, "ck-corrupt")
+    baseline = run_program(
+        graph,
+        PageRank(num_supersteps=8),
+        num_workers=NUM_WORKERS,
+        seed=seed,
+        checkpoint_interval=2,
+    )
+    try:
+        run_program(
+            graph,
+            PageRank(num_supersteps=8),
+            num_workers=NUM_WORKERS,
+            seed=seed,
+            checkpoint_interval=2,
+            checkpoint_dir=directory,
+            max_supersteps=6,
+        )
+        raise AssertionError("interrupt did not fire")
+    except SuperstepLimitExceeded:
+        pass
+    records = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith("ckpt-")
+    )
+    truncate_file(os.path.join(directory, records[-1]))
+    resumed = run_program(
+        graph,
+        PageRank(num_supersteps=8),
+        num_workers=NUM_WORKERS,
+        seed=seed,
+        checkpoint_interval=2,
+        checkpoint_dir=directory,
+        resume=True,
+    )
+    assert canonical_result(resumed) == canonical_result(baseline)
+    return _row(
+        "corrupt-fallback", started, generations=len(records)
+    )
+
+
+def scenario_faulted_durable(workdir: str, seed: int, scale: float):
+    started = time.perf_counter()
+    graph = _graph(scale, seed)
+    directory = os.path.join(workdir, "ck-faulted")
+
+    def _run(**kwargs):
+        return run_program(
+            graph,
+            PageRank(num_supersteps=10),
+            num_workers=NUM_WORKERS,
+            seed=seed,
+            checkpoint_interval=2,
+            fault_plan=chaos_plan(crash_superstep=3, seed=seed),
+            **kwargs,
+        )
+
+    baseline = _run()
+    try:
+        _run(checkpoint_dir=directory, max_supersteps=7)
+        raise AssertionError("interrupt did not fire")
+    except SuperstepLimitExceeded:
+        pass
+    resumed = _run(checkpoint_dir=directory, resume=True)
+    assert canonical_result(resumed) == canonical_result(baseline)
+    return _row("faulted-durable", started)
+
+
+SCENARIOS: List[Callable] = [
+    scenario_rank_sigkill,
+    scenario_rank_hang,
+    lambda d, s, c: scenario_kill_resume(d, s, c, "serial"),
+    lambda d, s, c: scenario_kill_resume(d, s, c, "parallel"),
+    scenario_corrupt_fallback,
+    scenario_faulted_durable,
+]
+
+
+def run_round(
+    base_dir: str, round_idx: int, seed: int, scale: float
+) -> List[Dict]:
+    rows = []
+    for i, scenario in enumerate(SCENARIOS):
+        workdir = os.path.join(
+            base_dir, f"round{round_idx}-s{i}"
+        )
+        os.makedirs(workdir, exist_ok=True)
+        try:
+            row = scenario(workdir, seed + round_idx, scale)
+        except BaseException as exc:
+            row = {
+                "scenario": getattr(
+                    scenario, "__name__", f"scenario-{i}"
+                ),
+                "ok": False,
+                "error": repr(exc),
+            }
+        row["round"] = round_idx
+        rows.append(row)
+    return rows
+
+
+# -- pytest entry (one round) -----------------------------------------
+
+
+def test_chaos_round(tmp_path):
+    rows = run_round(str(tmp_path), 0, seed=0, scale=1.0)
+    bad = [row for row in rows if not row["ok"]]
+    assert not bad, bad
+
+
+# -- soak CLI ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Chaos soak: repeat the OS-failure scenarios "
+        "and verify byte-identity every round."
+    )
+    parser.add_argument("--rounds", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the JSON summary here"
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    all_rows: List[Dict] = []
+    with tempfile.TemporaryDirectory(
+        prefix="repro-chaos-"
+    ) as base:
+        for round_idx in range(args.rounds):
+            rows = run_round(
+                base, round_idx, args.seed, args.scale
+            )
+            all_rows.extend(rows)
+            for row in rows:
+                status = "ok" if row["ok"] else "FAIL"
+                extra = row.get("error", "")
+                print(
+                    f"round {round_idx} {row['scenario']:<22} "
+                    f"{status:<4} "
+                    f"{row.get('seconds', 0.0):>7.2f}s {extra}"
+                )
+    failures = [row for row in all_rows if not row["ok"]]
+    summary = {
+        "rounds": args.rounds,
+        "scale": args.scale,
+        "seed": args.seed,
+        "scenarios": all_rows,
+        "failures": len(failures),
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"(summary -> {args.out})")
+    print(
+        f"{len(all_rows) - len(failures)}/{len(all_rows)} scenario "
+        "runs held the byte-identity oracle"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    # Spawn-context hygiene: multiprocessing children that re-import
+    # __main__ must not recursively launch the soak.
+    sys.exit(main())

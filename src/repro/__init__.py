@@ -32,7 +32,9 @@ Quickstart::
 from repro.errors import (
     BSPError,
     BenchmarkError,
+    CheckpointCorruptionError,
     CheckpointError,
+    FingerprintMismatchError,
     GraphError,
     MessageToUnknownVertexError,
     RecoveryExhaustedError,
@@ -52,6 +54,8 @@ __all__ = [
     "MessageToUnknownVertexError",
     "WorkerCrashError",
     "CheckpointError",
+    "CheckpointCorruptionError",
+    "FingerprintMismatchError",
     "RecoveryExhaustedError",
     "__version__",
 ]

@@ -26,6 +26,12 @@ from repro.bsp.checkpoint import (
     restore_checkpoint,
 )
 from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.durability import (
+    DurableCheckpointStore,
+    config_fingerprint,
+    graph_signature,
+    open_durable_store,
+)
 from repro.bsp.fabric import MessageFabric
 from repro.bsp.loop import CheckpointPolicy, SuperstepLoop
 from repro.bsp.result import RunResult
@@ -87,6 +93,10 @@ __all__ = [
     "cow_copy",
     "take_checkpoint",
     "restore_checkpoint",
+    "DurableCheckpointStore",
+    "config_fingerprint",
+    "graph_signature",
+    "open_durable_store",
     "CrashFault",
     "DeliveryFaults",
     "FaultInjector",

@@ -176,6 +176,11 @@ class CheckpointStore:
     :class:`EngineSnapshot` — anything with ``superstep`` and ``size``.
     """
 
+    #: Whether checkpoints survive the process.  The on-disk subclass
+    #: (:class:`~repro.bsp.durability.DurableCheckpointStore`) flips
+    #: this so engines know to call :meth:`persist` after each save.
+    durable = False
+
     def __init__(self):
         self.latest: Optional[Checkpoint] = None
         self.written: int = 0
@@ -186,6 +191,11 @@ class CheckpointStore:
         self.written += 1
         self.total_size += checkpoint.size
         return checkpoint
+
+    def persist(self, checkpoint, context=None) -> None:
+        """Write ``checkpoint`` beyond the process.  The in-memory
+        store keeps nothing durable; the durable subclass overrides
+        this with the atomic on-disk write."""
 
     def require_latest(self) -> Checkpoint:
         if self.latest is None:

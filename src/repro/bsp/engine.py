@@ -74,6 +74,12 @@ from typing import Any, Dict, Hashable, List, Optional, Set
 from repro.bsp.checkpoint import restore_checkpoint, take_checkpoint
 from repro.bsp.combiner import Combiner
 from repro.bsp.context import ComputeContext, MasterContext
+from repro.bsp.durability import (
+    build_run_context,
+    config_fingerprint,
+    open_durable_store,
+    resume_engine,
+)
 from repro.bsp.fabric import MessageFabric
 from repro.bsp.faults import FaultInjector, FaultPlan
 from repro.bsp.kernels import dense_compute_pass, reference_compute_pass
@@ -160,6 +166,18 @@ class PregelEngine:
         back to full rollback when topology mutated since the last
         checkpoint; assumes ``compute`` does not draw from
         ``ctx.random``).  Forces the reference execution path.
+    checkpoint_dir:
+        Directory for durable on-disk checkpoints
+        (:mod:`repro.bsp.durability`): each scheduled checkpoint is
+        also persisted atomically (CRC-32 checksum, fingerprinted
+        manifest), so the run survives process death.
+    resume:
+        With ``checkpoint_dir``: ``True`` resumes from the newest
+        intact durable checkpoint, byte-identically to the
+        uninterrupted run (typed ``CheckpointError`` when there is
+        none, ``FingerprintMismatchError`` for a directory written by
+        a different configuration); ``"auto"`` resumes when possible
+        and starts fresh otherwise.
     use_fast_path:
         ``None`` (default): engage the dense-index fast path unless
         ``confined_recovery`` is set.  ``False``: force the reference
@@ -197,9 +215,26 @@ class PregelEngine:
         fault_plan: Optional[FaultPlan] = None,
         max_recovery_attempts: int = 3,
         confined_recovery: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        resume=False,
         use_fast_path: Optional[bool] = None,
         trace: Optional[TraceRecorder] = None,
     ):
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got "
+                f"{checkpoint_interval!r}"
+            )
+        if max_recovery_attempts < 0:
+            raise ValueError(
+                f"max_recovery_attempts must be >= 0, got "
+                f"{max_recovery_attempts!r}"
+            )
+        if resume and checkpoint_dir is None:
+            raise ValueError(
+                "resume requires checkpoint_dir (the durable "
+                "checkpoint directory to resume from)"
+            )
         self._graph = graph
         self._program = program
         self._num_workers = num_workers
@@ -241,6 +276,32 @@ class PregelEngine:
         )
         self._max_recovery_attempts = max_recovery_attempts
         self._confined_recovery = confined_recovery
+        # Durable checkpoints: swap the in-memory store for the
+        # on-disk one before the policy captures it (the fingerprint
+        # makes a resume against a different configuration fail
+        # loudly — see repro.bsp.durability).
+        self._checkpoint_dir = checkpoint_dir
+        self._resume_state = None
+        if checkpoint_dir is not None:
+            fingerprint = config_fingerprint(
+                graph,
+                program,
+                num_workers=num_workers,
+                seed=seed,
+                checkpoint_interval=checkpoint_interval,
+                max_recovery_attempts=max_recovery_attempts,
+                confined_recovery=confined_recovery,
+                use_fast_path=use_fast_path,
+                track_bppa=track_bppa,
+                combiner=combiner,
+                partitioner=partitioner,
+                cost_model=self._cost_model,
+                fault_plan=fault_plan,
+            )
+            self._store.ckpt_store = open_durable_store(
+                checkpoint_dir, fingerprint, resume
+            )
+            self._resume_state = self._store.ckpt_store.resume_state()
         self._policy = CheckpointPolicy(
             checkpoint_interval, fault_plan, self._store.ckpt_store
         )
@@ -403,11 +464,16 @@ class PregelEngine:
         stats = RunStats(
             num_workers=self._num_workers, cost_model=self._cost_model
         )
-        self._run_stats = stats
         self._aggregate_history = []
+        start_superstep = 0
+        if self._resume_state is not None:
+            ckpt, context = self._resume_state
+            self._resume_state = None
+            start_superstep, stats = resume_engine(self, ckpt, context)
+        self._run_stats = stats
         tracker = self._tracker
 
-        self._loop.run(self, stats)
+        self._loop.run(self, stats, start_superstep=start_superstep)
 
         if tracker is not None:
             tracker.observation.num_supersteps = stats.num_supersteps
@@ -579,6 +645,13 @@ class PregelEngine:
             # Logged messages before the checkpoint can never be
             # replayed again; reclaim them.
             store.prune_logs(superstep)
+        if store.ckpt_store.durable:
+            # Persist last, once all checkpoint accounting is done, so
+            # the on-disk context matches the uninterrupted run's
+            # state at this boundary exactly.
+            store.ckpt_store.persist(
+                ckpt, build_run_context(self, stats)
+            )
 
     def _latest_checkpoint(self):
         return self._store.ckpt_store.latest

@@ -210,6 +210,26 @@ class FaultInjector:
             if s == superstep
         )
 
+    # -- durable-checkpoint support -------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The injector's replay position, for a durable checkpoint.
+
+        A resumed run must continue the fault trace exactly where the
+        interrupted run left it: same RNG stream position, same
+        remaining crash budgets.  Both halves are plain picklable
+        values.
+        """
+        return {
+            "rng_state": self._rng.getstate(),
+            "crash_budget": dict(self._crash_budget),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a position captured by :meth:`snapshot_state`."""
+        self._rng.setstate(state["rng_state"])
+        self._crash_budget = dict(state["crash_budget"])
+
     # -- message-level faults -------------------------------------------
 
     def network_faults(self, num_messages: int) -> DeliveryFaults:

@@ -149,9 +149,9 @@ class SuperstepLoop:
         max_recovery_attempts: int = 3,
         on_limit: str = "raise",
     ):
-        if max_recovery_attempts < 1:
+        if max_recovery_attempts < 0:
             raise ValueError(
-                "max_recovery_attempts must be >= 1, got "
+                "max_recovery_attempts must be >= 0, got "
                 f"{max_recovery_attempts}"
             )
         self.max_supersteps = max_supersteps
@@ -166,17 +166,20 @@ class SuperstepLoop:
         #: superstep -> crash count (the per-superstep crash budget).
         self.crash_counts: Dict[int, int] = {}
 
-    def run(self, host, stats: RunStats) -> bool:
+    def run(self, host, stats: RunStats, start_superstep: int = 0) -> bool:
         """Supervise ``host`` to termination.
 
         Returns True when the host reported completion, False when the
         superstep bound was hit under ``on_limit="stop"``.  Under
         ``on_limit="raise"`` hitting the bound raises
-        :class:`SuperstepLimitExceeded` instead.
+        :class:`SuperstepLimitExceeded` instead.  ``start_superstep``
+        is nonzero only when resuming from a durable checkpoint
+        (:mod:`repro.bsp.durability`): the loop continues exactly
+        where the interrupted run's schedule left off.
         """
         injector = self.injector
         policy = self.policy
-        superstep = 0
+        superstep = start_superstep
         while True:
             if superstep >= self.max_supersteps:
                 if self.on_limit == "raise":

@@ -76,6 +76,24 @@ restored values into surviving ranks.  The dense index recompiled by
 the restore is identical to the pool's (topology cannot have changed
 while the pool is alive), so adjacency is never reshipped.
 
+Supervision of the real processes is hang-aware: the coordinator
+never blocks on a worker pipe.  Each rank runs a heartbeat thread
+reporting a monotonic per-vertex progress counter; the coordinator
+collects step replies with deadline polling and extends a rank's
+deadline only when its progress *advances*, so a SIGKILLed rank is
+detected immediately, an infinite-looping or sleeping rank within
+``rank_stall_timeout``, and a merely slow rank is never killed.  A
+failed rank aborts the (side-effect-free) collection, the whole pool
+is torn down — ``kill()`` escalates SIGTERM to SIGKILL so even a rank
+that ignores signals dies — and the pass retries on a fresh pool
+after bounded exponential backoff, up to ``max_rank_restarts``
+restarts per run; past the budget the run degrades to the
+byte-identical serial path.  Because results merge only after every
+rank replies, a failed pass leaves the coordinator at the exact
+superstep boundary and the retry is byte-identical by construction.
+An ``atexit`` sweep kills any pool the interpreter abandons, so no
+orphan rank processes outlive an interrupted run.
+
 Wall-clock speedup is real but bounded by the host:
 ``RunStats.wall`` records per-rank compute seconds and barrier wait —
 measurements excluded from the byte-identity contract — and
@@ -85,11 +103,16 @@ measurements excluded from the byte-identity contract — and
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import operator
+import os
 import pickle
 import random
+import threading
 import time
+import weakref
+from multiprocessing import connection as mp_connection
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.bsp.context import ComputeContext
@@ -165,6 +188,10 @@ class _PartitionRuntime:
         self.sent_logical = 0
         self.sent_remote = 0
         self.agg_log: List[Tuple[str, Any]] = []
+        #: Monotonic count of vertices executed over the partition's
+        #: lifetime, read by the heartbeat thread: an advancing value
+        #: proves the rank is making progress, not merely alive.
+        self.progress = 0
         self._cur_off = 0
         if self.combiner is not None:
             # Same SumCombiner specialization as the serial engine.
@@ -378,6 +405,7 @@ class _PartitionRuntime:
                     state.halted = False
                 messages = []
             active += 1
+            self.progress += 1
             self._cur_off = off
             begin_vertex(state)
             compute(state, messages, ctx)
@@ -454,9 +482,50 @@ class _PartitionRuntime:
         self.program.__dict__.update(payload["program_state"])
 
 
-def _worker_main(rank: int, conn) -> None:
-    """Command loop of one pool process (top-level: spawn-safe)."""
+def _worker_main(
+    rank: int, conn, hb_interval: float = 0.25
+) -> None:
+    """Command loop of one pool process (top-level: spawn-safe).
+
+    A daemon heartbeat thread reports the partition's progress
+    counter every ``hb_interval`` seconds while a step is running, so
+    the coordinator can tell a hung rank (progress frozen) from a
+    slow one (progress advancing).  All pipe writes share one lock so
+    a heartbeat never interleaves with a reply.
+
+    The same thread is the orphan watchdog: when the parent pid
+    changes the coordinator died (e.g. SIGKILLed mid-run), and this
+    rank must not linger — under the fork start method sibling ranks
+    inherit each other's pipe fds, so the EOF a dead coordinator
+    would normally deliver can be held open indefinitely by a
+    sibling.  ``os._exit`` keeps the no-orphans guarantee regardless.
+    """
     part: Optional[_PartitionRuntime] = None
+    send_lock = threading.Lock()
+    stepping = threading.Event()
+    stop = threading.Event()
+    parent_pid = os.getppid()
+
+    def _send(msg) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    def _heartbeat() -> None:
+        while not stop.wait(hb_interval):
+            if os.getppid() != parent_pid:
+                os._exit(0)  # orphaned: the coordinator is gone
+            if part is None or not stepping.is_set():
+                continue
+            try:
+                _send(("hb", part.progress))
+            except Exception:
+                return
+
+    threading.Thread(
+        target=_heartbeat,
+        daemon=True,
+        name=f"repro-bsp-hb-{rank}",
+    ).start()
     while True:
         try:
             msg = conn.recv()
@@ -466,23 +535,29 @@ def _worker_main(rank: int, conn) -> None:
         try:
             if cmd == "init":
                 part = _PartitionRuntime(rank, msg[1])
-                conn.send(("ready", rank))
+                _send(("ready", rank))
             elif cmd == "step":
                 t0 = time.perf_counter()
-                resp = part.step(*msg[1:])
+                stepping.set()
+                try:
+                    resp = part.step(*msg[1:])
+                finally:
+                    stepping.clear()
                 resp["seconds"] = time.perf_counter() - t0
-                conn.send(("ok", resp))
+                _send(("ok", resp))
             elif cmd == "reload":
                 part.reload(msg[1])
-                conn.send(("ready", rank))
+                _send(("ready", rank))
             elif cmd == "stop":
-                conn.close()
+                stop.set()
+                with send_lock:
+                    conn.close()
                 return
         except BaseException as exc:  # ship the failure, stay alive
             try:
-                conn.send(("err", exc))
+                _send(("err", exc))
             except Exception:
-                conn.send(("err", RuntimeError(repr(exc))))
+                _send(("err", RuntimeError(repr(exc))))
 
 
 # ---------------------------------------------------------------------
@@ -493,12 +568,12 @@ def _worker_main(rank: int, conn) -> None:
 class _WorkerLink:
     """A pool process and the coordinator's end of its pipe."""
 
-    def __init__(self, mp_ctx, rank: int):
+    def __init__(self, mp_ctx, rank: int, hb_interval: float = 0.25):
         self.rank = rank
         self.conn, child_conn = mp_ctx.Pipe()
         self.process = mp_ctx.Process(
             target=_worker_main,
-            args=(rank, child_conn),
+            args=(rank, child_conn, hb_interval),
             daemon=True,
             name=f"repro-bsp-worker-{rank}",
         )
@@ -510,11 +585,16 @@ class _WorkerLink:
         return self.process.is_alive()
 
     def kill(self) -> None:
-        """Hard-stop the process (used to make an injected crash a
-        real process death)."""
+        """Hard-stop the process.  SIGTERM first; if the rank has not
+        exited shortly after — hung in compute, or ignoring signals —
+        escalate to SIGKILL, so nothing survives ``kill()``."""
+        process = self.process
         try:
-            self.process.terminate()
-            self.process.join(timeout=5)
+            process.terminate()
+            process.join(timeout=2)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
         except Exception:
             pass
         try:
@@ -540,6 +620,41 @@ class _WorkerLink:
                 pass
 
 
+class _RankFailure(Exception):
+    """Internal: a pool rank died or stalled mid-operation.  Carries
+    what the supervisor needs to account and restart; never escapes
+    :class:`ParallelPregelEngine`."""
+
+    def __init__(self, rank: int, reason: str):
+        super().__init__(f"rank {rank} {reason}")
+        self.rank = rank
+        self.reason = reason
+
+
+#: Engines with live pools, swept at interpreter exit.  Weak refs: a
+#: collected engine already tore its pool down in ``__del__``.
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+
+
+def _kill_leaked_pools() -> None:
+    """atexit hook: hard-kill any pool the interpreter abandons, so
+    an interrupted run never leaves orphan rank processes behind."""
+    for engine in list(_LIVE_POOLS):
+        try:
+            engine._teardown_links()
+        except Exception:
+            pass
+
+
+def _track_pool(engine: "ParallelPregelEngine") -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_kill_leaked_pools)
+        _ATEXIT_REGISTERED = True
+    _LIVE_POOLS.add(engine)
+
+
 class ParallelPregelEngine(PregelEngine):
     """:class:`PregelEngine` whose fast compute pass runs on a
     persistent pool of worker processes, one per simulated worker.
@@ -549,11 +664,27 @@ class ParallelPregelEngine(PregelEngine):
     mp_start_method:
         ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default
         :func:`default_start_method`.
+    rank_stall_timeout:
+        Seconds a rank may go without *progress* before the
+        coordinator declares it hung and restarts the pool (default
+        60).  Progress is a per-vertex counter shipped by the rank's
+        heartbeat thread, so a slow-but-advancing rank is never
+        killed.
+    rank_heartbeat_interval:
+        Seconds between a rank's progress heartbeats (default 0.25).
+    max_rank_restarts:
+        Pool restarts allowed per run after rank deaths or stalls
+        before degrading to the serial path for good (default 2).
+    rank_restart_backoff:
+        Base of the bounded exponential backoff slept before each
+        pool restart (default 0.05s; doubles per restart, capped at
+        2s).
 
     The engine degrades to the byte-identical serial path whenever
     process parallelism cannot preserve the contract; inspect
-    :attr:`parallel_disabled_reason` / :attr:`parallel_supersteps` to
-    see what a run actually did.
+    :attr:`parallel_disabled_reason` / :attr:`parallel_supersteps` /
+    :attr:`rank_restarts` / :attr:`rank_failures` to see what a run
+    actually did.
     """
 
     backend_name = "parallel"
@@ -564,13 +695,50 @@ class ParallelPregelEngine(PregelEngine):
         program: VertexProgram,
         *args,
         mp_start_method: Optional[str] = None,
+        rank_stall_timeout: float = 60.0,
+        rank_heartbeat_interval: float = 0.25,
+        max_rank_restarts: int = 2,
+        rank_restart_backoff: float = 0.05,
         **kwargs,
     ):
+        if rank_stall_timeout <= 0:
+            raise ValueError(
+                "rank_stall_timeout must be > 0, got "
+                f"{rank_stall_timeout!r}"
+            )
+        if rank_heartbeat_interval <= 0:
+            raise ValueError(
+                "rank_heartbeat_interval must be > 0, got "
+                f"{rank_heartbeat_interval!r}"
+            )
+        if max_rank_restarts < 0:
+            raise ValueError(
+                "max_rank_restarts must be >= 0, got "
+                f"{max_rank_restarts!r}"
+            )
+        if rank_restart_backoff < 0:
+            raise ValueError(
+                "rank_restart_backoff must be >= 0, got "
+                f"{rank_restart_backoff!r}"
+            )
         super().__init__(graph, program, *args, **kwargs)
         self._mp_method = mp_start_method or default_start_method()
+        self._rank_stall_timeout = float(rank_stall_timeout)
+        self._rank_heartbeat_interval = float(rank_heartbeat_interval)
+        self._max_rank_restarts = int(max_rank_restarts)
+        self._rank_restart_backoff = float(rank_restart_backoff)
+        #: Init/reload replies get a generous fixed deadline: setup
+        #: has no progress counter to extend it with.
+        self._pool_setup_timeout = max(
+            120.0, float(rank_stall_timeout)
+        )
         self._links: Optional[List[_WorkerLink]] = None
         self._pool_disabled = False
         self._program_blob: Optional[bytes] = None
+        #: Pool restarts performed after rank deaths/stalls.
+        self.rank_restarts = 0
+        #: One ``(superstep, rank, reason)`` per detected failure.
+        self.rank_failures: List[Tuple[int, int, str]] = []
         #: Supersteps whose compute pass actually ran on the pool.
         self.parallel_supersteps = 0
         #: Why the pool is (or became) unused; None while eligible.
@@ -677,11 +845,15 @@ class ParallelPregelEngine(PregelEngine):
         try:
             mp_ctx = multiprocessing.get_context(self._mp_method)
             for rank in range(self._num_workers):
-                links.append(_WorkerLink(mp_ctx, rank))
+                links.append(
+                    _WorkerLink(
+                        mp_ctx, rank, self._rank_heartbeat_interval
+                    )
+                )
             for link in links:
                 link.conn.send(("init", self._init_payload(link.rank)))
             for link in links:
-                reply = link.conn.recv()
+                reply = self._recv_ready(link)
                 if reply[0] != "ready":
                     raise reply[1]
         except Exception as exc:
@@ -690,7 +862,40 @@ class ParallelPregelEngine(PregelEngine):
             self._disable_pool(f"pool startup failed: {exc!r}")
             return False
         self._links = links
+        _track_pool(self)
         return True
+
+    def _recv_ready(self, link: _WorkerLink) -> Tuple:
+        """One non-heartbeat reply from ``link``, polled with a
+        deadline instead of a blocking ``recv`` — a rank that dies or
+        wedges during init/reload must not wedge the coordinator."""
+        deadline = time.monotonic() + self._pool_setup_timeout
+        conn = link.conn
+        while True:
+            try:
+                if conn.poll(0.05):
+                    msg = conn.recv()
+                    if msg[0] != "hb":
+                        return msg
+                    continue
+                dead = (
+                    not link.process.is_alive()
+                    and not conn.poll(0)
+                )
+            except (EOFError, OSError) as exc:
+                raise _RankFailure(
+                    link.rank, f"pipe closed during setup ({exc!r})"
+                )
+            if dead:
+                raise _RankFailure(
+                    link.rank, "process died during setup"
+                )
+            if time.monotonic() > deadline:
+                raise _RankFailure(
+                    link.rank,
+                    "stalled during setup: no reply within "
+                    f"{self._pool_setup_timeout:g}s",
+                )
 
     def _shutdown_pool(self, reason: Optional[str] = None) -> None:
         """Stop every pool process; with ``reason`` the shutdown is
@@ -719,11 +924,56 @@ class ParallelPregelEngine(PregelEngine):
             self._shutdown_pool()
 
     def _compute_pass_fast(self, wake_all: bool) -> int:
-        if self._pool_disabled:
-            return super()._compute_pass_fast(wake_all)
-        if self._links is None and not self._start_pool():
-            return super()._compute_pass_fast(wake_all)
-        return self._compute_pass_parallel(wake_all)
+        # Supervision loop: a rank death or stall aborts the (side-
+        # effect-free) parallel pass and the pass retries on a fresh
+        # pool until the restart budget runs out.
+        while True:
+            if self._pool_disabled:
+                return super()._compute_pass_fast(wake_all)
+            if self._links is None and not self._start_pool():
+                return super()._compute_pass_fast(wake_all)
+            try:
+                return self._compute_pass_parallel(wake_all)
+            except _RankFailure as failure:
+                self._handle_rank_failure(failure)
+
+    def _teardown_links(self) -> None:
+        """Hard-kill every pool process without touching the
+        degradation state (unlike ``_shutdown_pool``; also what the
+        atexit sweep calls)."""
+        links, self._links = self._links, None
+        if links:
+            for link in links:
+                link.kill()
+
+    def _handle_rank_failure(self, failure: _RankFailure) -> None:
+        """Account one rank failure, kill the whole pool, and either
+        back off for a restart or degrade to serial for good.
+
+        Nothing from the failed pass was applied — results merge only
+        once every rank has replied — so the coordinator still holds
+        the exact superstep boundary and the retry (parallel or
+        serial) is byte-identical by construction.
+        """
+        superstep = getattr(self._ctx, "superstep", -1)
+        self.rank_failures.append(
+            (superstep, failure.rank, failure.reason)
+        )
+        self._teardown_links()
+        self.rank_restarts += 1
+        if self.rank_restarts > self._max_rank_restarts:
+            self._disable_pool(
+                f"rank {failure.rank} {failure.reason}; restart "
+                f"budget ({self._max_rank_restarts}) exhausted"
+            )
+            return
+        delay = min(
+            self._rank_restart_backoff
+            * (2 ** (self.rank_restarts - 1)),
+            2.0,
+        )
+        if delay > 0:
+            time.sleep(delay)
 
     def _disengage_fast_path(self) -> None:
         # A topology mutation froze the dense index out from under the
@@ -759,7 +1009,11 @@ class ParallelPregelEngine(PregelEngine):
             for i, link in enumerate(links):
                 if not link.alive:
                     link.kill()  # reap the pipe of the dead process
-                    links[i] = _WorkerLink(mp_ctx, link.rank)
+                    links[i] = _WorkerLink(
+                        mp_ctx,
+                        link.rank,
+                        self._rank_heartbeat_interval,
+                    )
                     respawned.add(link.rank)
             # Ship: freshly spawned ranks need the full partition,
             # survivors only the rolled-back values (topology cannot
@@ -774,7 +1028,7 @@ class ParallelPregelEngine(PregelEngine):
                         ("reload", self._reload_payload(link.rank))
                     )
             for link in links:
-                reply = link.conn.recv()
+                reply = self._recv_ready(link)
                 if reply[0] != "ready":
                     raise reply[1]
             self._program_blob = reload_blob
@@ -810,8 +1064,8 @@ class ParallelPregelEngine(PregelEngine):
             inbound[owner_of[idx]].append((idx, in_slots[idx]))
         superstep = self._ctx.superstep
         agg_prev = self._agg_finalized
-        try:
-            for link in links:
+        for link in links:
+            try:
                 link.conn.send(
                     (
                         "step",
@@ -822,12 +1076,14 @@ class ParallelPregelEngine(PregelEngine):
                         ship_state,
                     )
                 )
-            replies = [link.conn.recv() for link in links]
-        except (EOFError, OSError, BrokenPipeError) as exc:
-            # A pool process died outside any fault plan: nothing was
-            # applied, so the coordinator re-executes serially.
-            self._shutdown_pool(f"worker process lost: {exc!r}")
-            return super()._compute_pass_fast(wake_all)
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                # A dead rank is a restartable failure, not a
+                # permanent degradation: nothing was applied, and the
+                # supervisor in _compute_pass_fast retries the pass.
+                raise _RankFailure(
+                    link.rank, f"pipe closed on dispatch ({exc!r})"
+                )
+        replies = self._collect_step_replies(links)
         for reply in replies:  # rank order = serial raise order
             if reply[0] == "err":
                 raise reply[1]
@@ -842,6 +1098,73 @@ class ParallelPregelEngine(PregelEngine):
             )
             return super()._compute_pass_fast(wake_all)
         return self._apply_parallel_results(payloads)
+
+    def _collect_step_replies(
+        self, links: List[_WorkerLink]
+    ) -> List[Tuple]:
+        """Collect one step reply per rank with hang-aware deadline
+        polling instead of blocking ``recv`` calls.
+
+        A rank's deadline is extended only when its heartbeat
+        progress counter *advances*: a rank that is alive but stuck
+        (infinite loop, blocked syscall, endless sleep) exhausts its
+        deadline even though heartbeats keep arriving, while a slow
+        rank that keeps executing vertices is never killed.  A dead
+        process or closed pipe raises :class:`_RankFailure` at the
+        next poll tick.
+        """
+        timeout = self._rank_stall_timeout
+        now = time.monotonic()
+        pending: Dict[int, _WorkerLink] = {
+            link.rank: link for link in links
+        }
+        link_of = {link.conn: link for link in links}
+        replies: Dict[int, Tuple] = {}
+        progress: Dict[int, int] = {
+            link.rank: -1 for link in links
+        }
+        deadline: Dict[int, float] = {
+            link.rank: now + timeout for link in links
+        }
+        while pending:
+            ready = mp_connection.wait(
+                [link.conn for link in pending.values()],
+                timeout=0.05,
+            )
+            now = time.monotonic()
+            for conn in ready:
+                link = link_of[conn]
+                rank = link.rank
+                try:
+                    while rank in pending and conn.poll(0):
+                        msg = conn.recv()
+                        if msg[0] == "hb":
+                            if msg[1] > progress[rank]:
+                                progress[rank] = msg[1]
+                                deadline[rank] = now + timeout
+                        else:
+                            replies[rank] = msg
+                            del pending[rank]
+                except (EOFError, OSError) as exc:
+                    raise _RankFailure(
+                        rank, f"process lost mid-step ({exc!r})"
+                    )
+            for rank, link in pending.items():
+                try:
+                    has_data = link.conn.poll(0)
+                except (EOFError, OSError):
+                    has_data = False
+                if not link.process.is_alive() and not has_data:
+                    raise _RankFailure(
+                        rank, "process died mid-step"
+                    )
+                if now > deadline[rank]:
+                    raise _RankFailure(
+                        rank,
+                        "stalled: no progress within "
+                        f"{timeout:g}s",
+                    )
+        return [replies[link.rank] for link in links]
 
     def _apply_parallel_results(
         self, payloads: List[Dict[str, Any]]

@@ -299,6 +299,11 @@ class SnapshotRecovery:
         stats.checkpoints_written += 1
         stats.checkpoint_cost += cost
         self._ckpt_costs[superstep] = cost
+        if self._ckpt_store.durable:
+            # Payload engines write durably too (a swapped-in
+            # DurableCheckpointStore); cross-process resume context is
+            # a Pregel-engine feature, so none is attached here.
+            self._ckpt_store.persist(snap, None)
         if self._trace is not None:
             self._trace.emit(
                 CheckpointWrite(

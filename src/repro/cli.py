@@ -7,6 +7,10 @@
     repro-table1 --scale 0.5     # smaller sweeps (quick look)
     repro-table1 --details       # per-row sweeps and factors
     repro-table1 --trace out.jsonl   # also capture the trace stream
+    repro-table1 --faults --checkpoint-dir ck --resume
+                                  # durable, resumable fault smoke
+                                  # (exit 3: recovery exhausted;
+                                  #  exit 4: checkpoint error)
 
 ``repro-trace`` reports on a captured trace::
 
@@ -93,6 +97,24 @@ def make_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help=(
+            "(with --faults) write durable checkpoints for every "
+            "faulted cell under DIR/<workload>-<plan>, so a killed "
+            "smoke can be resumed; see docs/fault_tolerance.md"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "(with --faults --checkpoint-dir) resume cells from their "
+            "newest intact durable checkpoint instead of starting "
+            "fresh"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         choices=["pregel", "gas", "block", "async"],
         help=(
@@ -106,7 +128,15 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = make_parser().parse_args(argv)
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    if (args.checkpoint_dir or args.resume) and not args.faults:
+        parser.error(
+            "--checkpoint-dir/--resume only apply to the --faults "
+            "smoke"
+        )
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     started = time.time()
     if args.backend != "serial":
         # Every run_program call below (table rows, fault smoke,
@@ -145,10 +175,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 format_fault_smoke,
                 run_fault_smoke,
             )
-
-            results = run_fault_smoke(
-                seed=args.seed, scale=args.scale
+            from repro.errors import (
+                CheckpointError,
+                RecoveryExhaustedError,
             )
+
+            try:
+                results = run_fault_smoke(
+                    seed=args.seed,
+                    scale=args.scale,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                )
+            except RecoveryExhaustedError as exc:
+                print(
+                    f"repro-table1: recovery exhausted: {exc}",
+                    file=sys.stderr,
+                )
+                return 3
+            except CheckpointError as exc:
+                print(
+                    f"repro-table1: checkpoint error: {exc}",
+                    file=sys.stderr,
+                )
+                return 4
             print(format_fault_smoke(results))
             elapsed = time.time() - started
             print(

@@ -9,6 +9,7 @@ of the fault-tolerance subsystem, cheap enough for CI.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -74,34 +75,43 @@ def _plans(seed: int) -> List[Optional[FaultPlan]]:
 
 
 def run_fault_smoke(
-    seed: int = 0, scale: float = 1.0, checkpoint_interval: int = 3
+    seed: int = 0,
+    scale: float = 1.0,
+    checkpoint_interval: int = 3,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[FaultSmokeResult]:
-    """Run the matrix; raise ``AssertionError`` on an oracle breach."""
+    """Run the matrix; raise ``AssertionError`` on an oracle breach.
+
+    With ``checkpoint_dir`` every faulted cell writes durable
+    checkpoints under ``<dir>/<workload>-<plan>``; with ``resume`` a
+    cell whose directory already holds checkpoints continues from the
+    newest intact one (so a SIGKILLed smoke can be rerun to
+    completion and still face the oracle).
+    """
     results: List[FaultSmokeResult] = []
     for name, graph, make_program in _workloads(scale, seed):
         baseline = run_program(
             graph, make_program(), num_workers=4, seed=seed
         )
         for plan in _plans(seed):
-            if plan is None:
-                faulted = run_program(
-                    graph,
-                    make_program(),
-                    num_workers=4,
-                    seed=seed,
-                    checkpoint_interval=checkpoint_interval,
+            plan_name = "clean+ckpt" if plan is None else plan.name
+            kwargs = dict(
+                num_workers=4,
+                seed=seed,
+                checkpoint_interval=checkpoint_interval,
+            )
+            if plan is not None:
+                kwargs["fault_plan"] = plan
+            if checkpoint_dir is not None:
+                kwargs["checkpoint_dir"] = os.path.join(
+                    checkpoint_dir, f"{name}-{plan_name}"
                 )
-                plan_name = "clean+ckpt"
-            else:
-                faulted = run_program(
-                    graph,
-                    make_program(),
-                    num_workers=4,
-                    seed=seed,
-                    checkpoint_interval=checkpoint_interval,
-                    fault_plan=plan,
-                )
-                plan_name = plan.name
+                # "auto": resume when the cell already has intact
+                # checkpoints, start fresh when it does not — reruns
+                # of a killed smoke pick up every cell mid-flight.
+                kwargs["resume"] = "auto" if resume else False
+            faulted = run_program(graph, make_program(), **kwargs)
             deterministic = faulted.values == baseline.values
             assert deterministic, (
                 f"determinism oracle violated: {name} under "

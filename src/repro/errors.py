@@ -105,9 +105,45 @@ class WorkerCrashError(BSPError, RuntimeError):
 class CheckpointError(BSPError, RuntimeError):
     """Checkpointing was misconfigured or a restore was impossible.
 
-    Raised for a non-positive ``checkpoint_interval`` and for a
-    restore attempted when no checkpoint has been written.
+    Raised for a non-positive ``checkpoint_interval``, for a restore
+    attempted when no checkpoint has been written, and for durable
+    stores that cannot be opened (missing manifest, unsupported
+    format version, nothing intact to resume from).
     """
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A durable checkpoint file or manifest failed integrity checks.
+
+    Raised when a payload is truncated, fails its CRC-32 checksum, or
+    cannot be decoded — and no older intact checkpoint exists to fall
+    back to.  The durable loader converts every low-level decoding
+    failure into this type, so corruption never surfaces as a raw
+    pickle traceback.
+    """
+
+
+class FingerprintMismatchError(CheckpointError):
+    """A durable checkpoint directory belongs to a different run
+    configuration.
+
+    The manifest records a fingerprint of the (graph, program,
+    engine-config) tuple that wrote it; resuming — or starting a
+    fresh run — against a directory whose fingerprint differs raises
+    this instead of silently mixing incompatible state.
+    """
+
+    def __init__(self, expected, found, directory):
+        super().__init__(
+            f"checkpoint directory {directory!r} was written by a "
+            f"different run configuration (manifest fingerprint "
+            f"{found!r}, this run {expected!r}); resume with the "
+            "original graph/program/engine settings or point at a "
+            "clean directory"
+        )
+        self.expected = expected
+        self.found = found
+        self.directory = directory
 
 
 class RecoveryExhaustedError(BSPError, RuntimeError):

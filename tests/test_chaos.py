@@ -1,0 +1,280 @@
+"""Chaos suite: real kills, real hangs, real resumes.
+
+Everything here attacks the runtime with *operating-system* failures
+rather than injected :class:`FaultPlan` events: rank processes are
+SIGKILLed mid-superstep, wedged in infinite sleeps (optionally
+ignoring SIGTERM, to force the supervisor's SIGKILL escalation), and
+whole runs are killed in subprocesses and resumed from their durable
+checkpoints in a fresh interpreter.  The invariant throughout is the
+repo's determinism oracle: however the run was battered, a completed
+(or resumed) run must be byte-identical to the clean serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.bsp.engine import PregelEngine, run_program
+from repro.bsp.parallel import (
+    ParallelPregelEngine,
+    _kill_leaked_pools,
+)
+from repro.core.chaos import (
+    CoordinatorKiller,
+    RankHanger,
+    RankKiller,
+    SlowRank,
+    canonical_result,
+    chaos_graph,
+    result_digest,
+)
+
+GRAPH = chaos_graph()
+
+
+def _serial(program, graph=GRAPH, **kwargs):
+    kwargs.setdefault("num_workers", 4)
+    kwargs.setdefault("seed", 0)
+    return PregelEngine(graph, program, **kwargs).run()
+
+
+def _parallel_engine(program, graph=GRAPH, **kwargs):
+    kwargs.setdefault("num_workers", 4)
+    kwargs.setdefault("seed", 0)
+    kwargs.setdefault("rank_restart_backoff", 0.01)
+    return ParallelPregelEngine(graph, program, **kwargs)
+
+
+class TestRankSigkill:
+    def test_killed_rank_restarts_pool_byte_identical(
+        self, tmp_path
+    ):
+        flag = str(tmp_path / "kill-once")
+        baseline = _serial(
+            RankKiller(flag_path=flag, num_supersteps=8)
+        )
+        engine = _parallel_engine(
+            RankKiller(flag_path=flag, num_supersteps=8)
+        )
+        result = engine.run()
+        assert canonical_result(result) == canonical_result(
+            baseline
+        )
+        assert engine.rank_restarts >= 1
+        assert engine.rank_failures
+        # The pool survived: the restart absorbed the kill without
+        # degrading the run to serial.
+        assert engine.parallel_disabled_reason is None
+        assert engine.parallel_supersteps >= 1
+
+    def test_unbounded_kills_exhaust_budget_and_degrade(self):
+        # flag_path=None kills a rank on *every* parallel attempt at
+        # the target superstep, so the restart budget must run out
+        # and the run must finish on the serial path — still
+        # byte-identical, because nothing partial is ever applied.
+        baseline = _serial(
+            RankKiller(flag_path=None, num_supersteps=8)
+        )
+        engine = _parallel_engine(
+            RankKiller(flag_path=None, num_supersteps=8),
+            max_rank_restarts=1,
+        )
+        result = engine.run()
+        assert canonical_result(result) == canonical_result(
+            baseline
+        )
+        assert engine.rank_restarts == 2  # budget 1, then give up
+        assert "restart budget" in engine.parallel_disabled_reason
+
+    def test_zero_restart_budget_degrades_on_first_kill(
+        self, tmp_path
+    ):
+        flag = str(tmp_path / "kill-once")
+        baseline = _serial(
+            RankKiller(flag_path=flag, num_supersteps=6)
+        )
+        engine = _parallel_engine(
+            RankKiller(flag_path=flag, num_supersteps=6),
+            max_rank_restarts=0,
+        )
+        result = engine.run()
+        assert canonical_result(result) == canonical_result(
+            baseline
+        )
+        assert engine.rank_restarts == 1
+        assert "restart budget" in engine.parallel_disabled_reason
+
+
+class TestHangDetection:
+    @pytest.mark.parametrize("ignore_sigterm", [False, True])
+    def test_hung_rank_detected_and_killed(
+        self, tmp_path, ignore_sigterm
+    ):
+        flag = str(tmp_path / "hang-once")
+        program_kwargs = dict(
+            flag_path=flag,
+            hang_superstep=2,
+            ignore_sigterm=ignore_sigterm,
+            num_supersteps=6,
+        )
+        baseline = _serial(RankHanger(**program_kwargs))
+        engine = _parallel_engine(
+            RankHanger(**program_kwargs),
+            num_workers=2,
+            rank_stall_timeout=1.0,
+            rank_heartbeat_interval=0.1,
+        )
+        result = engine.run()
+        assert canonical_result(result) == canonical_result(
+            _serial(RankHanger(**program_kwargs), num_workers=2)
+        )
+        del baseline
+        assert engine.rank_restarts >= 1
+        assert any(
+            "stalled" in reason
+            for _, _, reason in engine.rank_failures
+        )
+        assert engine.parallel_disabled_reason is None
+
+    def test_slow_but_progressing_rank_is_never_killed(self):
+        # Progress heartbeats, not reply latency, drive the stall
+        # deadline: each vertex takes ~3x the stall timeout's worth
+        # of budget per superstep in aggregate, but the per-vertex
+        # counter keeps advancing, so the supervisor must not kill.
+        graph = chaos_graph(8)
+        baseline = _serial(
+            SlowRank(delay=0.3, num_supersteps=2),
+            graph=graph,
+            num_workers=2,
+        )
+        engine = _parallel_engine(
+            SlowRank(delay=0.3, num_supersteps=2),
+            graph=graph,
+            num_workers=2,
+            rank_stall_timeout=1.0,
+            rank_heartbeat_interval=0.1,
+        )
+        result = engine.run()
+        assert canonical_result(result) == canonical_result(
+            baseline
+        )
+        assert engine.rank_restarts == 0
+        assert engine.rank_failures == []
+        assert engine.parallel_disabled_reason is None
+        assert (
+            engine.parallel_supersteps
+            == result.stats.num_supersteps
+        )
+
+
+def _chaos_subprocess(*argv):
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CHAOS_KILL_AT", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.core.chaos", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+class TestKillAndResume:
+    """The PR's oracle: SIGKILL a whole run mid-flight, resume it in
+    a fresh interpreter, and demand bytes identical to a run that was
+    never interrupted."""
+
+    @pytest.mark.parametrize("backend", ["serial", "parallel"])
+    def test_sigkilled_run_resumes_byte_identical(
+        self, tmp_path, backend
+    ):
+        directory = str(tmp_path / "ck")
+        killed = _chaos_subprocess(
+            "--backend",
+            backend,
+            "--checkpoint-dir",
+            directory,
+            "--kill-at",
+            "6",
+        )
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+        resumed = _chaos_subprocess(
+            "--backend",
+            backend,
+            "--checkpoint-dir",
+            directory,
+            "--resume",
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        digest_line = next(
+            line
+            for line in resumed.stdout.splitlines()
+            if line.startswith("digest=")
+        )
+        # Uninterrupted serial baseline, computed in this process:
+        # the subprocess digest must match it exactly, whatever
+        # backend the killed/resumed halves ran on.
+        baseline = run_program(
+            chaos_graph(40, seed=3),
+            CoordinatorKiller(num_supersteps=12),
+            num_workers=4,
+            seed=3,
+            checkpoint_interval=2,
+        )
+        assert digest_line == f"digest={result_digest(baseline)}"
+
+    def test_resume_without_checkpoints_fails_typed(self, tmp_path):
+        result = _chaos_subprocess(
+            "--checkpoint-dir",
+            str(tmp_path / "empty"),
+            "--resume",
+        )
+        assert result.returncode == 4
+        assert "checkpoint error" in result.stderr
+
+
+class TestOrphanCleanup:
+    def test_atexit_sweep_kills_leaked_pools(self):
+        engine = _parallel_engine(
+            PageRank(num_supersteps=3), num_workers=2
+        )
+        engine.run()  # compiles the dense fabric, then shuts down
+        assert engine._links is None
+        assert engine._start_pool()  # leak a live pool on purpose
+        processes = [link.process for link in engine._links]
+        assert all(p.is_alive() for p in processes)
+        _kill_leaked_pools()
+        assert engine._links is None
+        for process in processes:
+            process.join(timeout=10)
+            assert not process.is_alive()
+
+    def test_worker_link_kill_escalates_past_sigterm(self, tmp_path):
+        # A rank wedged with SIGTERM ignored must still die: kill()
+        # escalates to SIGKILL after the terminate grace period.
+        flag = str(tmp_path / "hang-once")
+        engine = _parallel_engine(
+            RankHanger(
+                flag_path=flag,
+                hang_superstep=1,
+                ignore_sigterm=True,
+                num_supersteps=4,
+            ),
+            num_workers=2,
+            rank_stall_timeout=0.5,
+            rank_heartbeat_interval=0.1,
+        )
+        engine.run()
+        # Whatever the path taken, no rank process may survive.
+        assert engine._links is None

@@ -1,0 +1,447 @@
+"""Durable checkpoints and cross-process resume.
+
+Three layers of coverage:
+
+* the :class:`DurableCheckpointStore` itself — atomic write
+  round-trips, retention pruning, counter continuity;
+* the corruption matrix — truncated records, bit-flipped records,
+  missing/garbage manifests, version and fingerprint mismatches all
+  surface as *typed* checkpoint errors (never a raw pickle traceback),
+  and single-record damage falls back to the newest older intact
+  generation;
+* engine-level resume — an interrupted run resumed from disk must be
+  byte-identical (values, pickled stats, aggregate history, BPPA) to
+  the uninterrupted run, including under an active fault plan whose
+  injector RNG must continue mid-stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.bsp.checkpoint import EngineSnapshot
+from repro.bsp.durability import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    DurableCheckpointStore,
+    atomic_write,
+    config_fingerprint,
+    open_durable_store,
+)
+from repro.bsp.engine import PregelEngine, run_program
+from repro.bsp.faults import chaos_plan
+from repro.core.chaos import (
+    bitflip_file,
+    canonical_result,
+    truncate_file,
+)
+from repro.errors import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    FingerprintMismatchError,
+    SuperstepLimitExceeded,
+)
+from repro.graph.generators import erdos_renyi_graph
+
+GRAPH = erdos_renyi_graph(30, 0.15, seed=7, directed=True)
+
+FP = "0123456789abcdef"
+
+
+def _store(directory, **kwargs) -> DurableCheckpointStore:
+    kwargs.setdefault("fingerprint", FP)
+    return DurableCheckpointStore(str(directory), **kwargs)
+
+
+def _fill(store: DurableCheckpointStore, count: int) -> None:
+    for i in range(count):
+        snap = store.save(
+            EngineSnapshot(superstep=i, payload={"step": i})
+        )
+        store.persist(snap, {"marker": i})
+
+
+def _ckpt_files(directory) -> list:
+    return sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith("ckpt-")
+    )
+
+
+class TestDurableStore:
+    def test_round_trip(self, tmp_path):
+        store = _store(tmp_path)
+        _fill(store, 2)
+        resumed = _store(tmp_path, resume=True)
+        ckpt, context = resumed.resume_state()
+        assert ckpt.superstep == 1
+        assert ckpt.payload == {"step": 1}
+        assert context == {"marker": 1}
+        # Write-side accounting continues where the run left off.
+        assert resumed.written == store.written
+        assert resumed.total_size == store.total_size
+
+    def test_retention_prunes_beyond_keep(self, tmp_path):
+        store = _store(tmp_path, keep=3)
+        _fill(store, 5)
+        assert len(_ckpt_files(tmp_path)) == 3
+        manifest = json.loads(
+            (tmp_path / MANIFEST_NAME).read_text()
+        )
+        supersteps = [
+            entry["superstep"] for entry in manifest["checkpoints"]
+        ]
+        assert supersteps == [2, 3, 4]
+
+    def test_keep_must_allow_fallback(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            _store(tmp_path, keep=1)
+
+    def test_fresh_open_wipes_stale_records(self, tmp_path):
+        _fill(_store(tmp_path), 3)
+        store = _store(tmp_path)  # same fingerprint, fresh run
+        assert _ckpt_files(tmp_path) == []
+        assert store.resume_state() is None
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        atomic_write(str(tmp_path / "blob"), b"payload")
+        assert (tmp_path / "blob").read_bytes() == b"payload"
+        assert os.listdir(tmp_path) == ["blob"]
+
+
+class TestCorruptionMatrix:
+    def test_truncated_latest_falls_back(self, tmp_path):
+        _fill(_store(tmp_path), 3)
+        truncate_file(str(tmp_path / _ckpt_files(tmp_path)[-1]))
+        resumed = _store(tmp_path, resume=True)
+        ckpt, context = resumed.resume_state()
+        assert ckpt.superstep == 1  # newest intact generation
+        assert context == {"marker": 1}
+
+    def test_bitflipped_latest_falls_back(self, tmp_path):
+        _fill(_store(tmp_path), 3)
+        bitflip_file(str(tmp_path / _ckpt_files(tmp_path)[-1]))
+        resumed = _store(tmp_path, resume=True)
+        ckpt, _ = resumed.resume_state()
+        assert ckpt.superstep == 1
+
+    def test_all_generations_corrupt_is_typed(self, tmp_path):
+        _fill(_store(tmp_path), 3)
+        for name in _ckpt_files(tmp_path):
+            truncate_file(str(tmp_path / name), drop_bytes=4)
+        with pytest.raises(
+            CheckpointCorruptionError, match="every retained"
+        ):
+            _store(tmp_path, resume=True)
+
+    def test_missing_record_file_falls_back(self, tmp_path):
+        _fill(_store(tmp_path), 3)
+        os.unlink(tmp_path / _ckpt_files(tmp_path)[-1])
+        resumed = _store(tmp_path, resume=True)
+        ckpt, _ = resumed.resume_state()
+        assert ckpt.superstep == 1
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            _store(tmp_path, resume=True)
+
+    def test_garbage_manifest_is_typed(self, tmp_path):
+        _fill(_store(tmp_path), 2)
+        (tmp_path / MANIFEST_NAME).write_bytes(b"{not json")
+        with pytest.raises(
+            CheckpointCorruptionError, match="not valid JSON"
+        ):
+            _store(tmp_path, resume=True)
+
+    def test_manifest_wrong_shape_is_typed(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text('["list"]')
+        with pytest.raises(
+            CheckpointCorruptionError, match="unexpected shape"
+        ):
+            _store(tmp_path, resume=True)
+
+    def test_version_mismatch(self, tmp_path):
+        _fill(_store(tmp_path), 2)
+        manifest = json.loads(
+            (tmp_path / MANIFEST_NAME).read_text()
+        )
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(
+            CheckpointError, match="format version"
+        ):
+            _store(tmp_path, resume=True)
+
+    def test_empty_manifest_never_ran(self, tmp_path):
+        _store(tmp_path)  # fresh open writes an empty manifest
+        with pytest.raises(
+            CheckpointError, match="lists no checkpoints"
+        ):
+            _store(tmp_path, resume=True)
+
+    def test_fingerprint_mismatch_on_resume(self, tmp_path):
+        _fill(_store(tmp_path), 2)
+        with pytest.raises(FingerprintMismatchError) as info:
+            _store(tmp_path, fingerprint="feedfacefeedface", resume=True)
+        assert info.value.expected == "feedfacefeedface"
+        assert info.value.found == FP
+
+    def test_fingerprint_mismatch_on_fresh_open(self, tmp_path):
+        # Starting "fresh" must never silently clobber another
+        # configuration's checkpoints.
+        _fill(_store(tmp_path), 2)
+        with pytest.raises(FingerprintMismatchError):
+            _store(tmp_path, fingerprint="feedfacefeedface")
+
+    def test_open_auto_falls_back_to_fresh(self, tmp_path):
+        store = open_durable_store(str(tmp_path), FP, "auto")
+        assert store.resume_state() is None
+        _fill(store, 2)
+        again = open_durable_store(str(tmp_path), FP, "auto")
+        ckpt, _ = again.resume_state()
+        assert ckpt.superstep == 1
+
+    def test_open_strict_resume_propagates(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            open_durable_store(str(tmp_path), FP, True)
+
+    def test_auto_never_ignores_fingerprint(self, tmp_path):
+        _fill(_store(tmp_path), 2)
+        with pytest.raises(FingerprintMismatchError):
+            open_durable_store(
+                str(tmp_path), "feedfacefeedface", "auto"
+            )
+
+
+class _CountingPageRank(PageRank):
+    """PageRank with mutable program state (a master-compute counter)
+    that resume must restore into the fresh program instance."""
+
+    name = "counting-pagerank"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.master_calls = 0
+
+    def master_compute(self, master) -> None:
+        self.master_calls += 1
+        super().master_compute(master)
+
+
+class _UnpicklableProgram(PageRank):
+    name = "unpicklable"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.hook = lambda value: value
+
+
+class TestEngineResume:
+    def _engine(self, program, **kwargs):
+        kwargs.setdefault("num_workers", 3)
+        kwargs.setdefault("seed", 11)
+        kwargs.setdefault("checkpoint_interval", 2)
+        return PregelEngine(GRAPH, program, **kwargs)
+
+    def test_interrupted_run_resumes_byte_identical(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        base = self._engine(
+            _CountingPageRank(num_supersteps=8), track_bppa=True
+        )
+        baseline = base.run()
+        with pytest.raises(SuperstepLimitExceeded):
+            self._engine(
+                _CountingPageRank(num_supersteps=8),
+                track_bppa=True,
+                checkpoint_dir=directory,
+                max_supersteps=5,
+            ).run()
+        resumed_program = _CountingPageRank(num_supersteps=8)
+        engine = self._engine(
+            resumed_program,
+            track_bppa=True,
+            checkpoint_dir=directory,
+            resume=True,
+        )
+        resumed = engine.run()
+        assert canonical_result(resumed) == canonical_result(
+            baseline
+        )
+        assert pickle.dumps(resumed.bppa) == pickle.dumps(
+            baseline.bppa
+        )
+        # Mutable program state continued, not restarted.
+        assert (
+            resumed_program.master_calls
+            == base._program.master_calls
+        )
+
+    def test_resume_with_corrupt_latest_still_identical(
+        self, tmp_path
+    ):
+        directory = tmp_path / "ck"
+        baseline = self._engine(PageRank(num_supersteps=8)).run()
+        with pytest.raises(SuperstepLimitExceeded):
+            self._engine(
+                PageRank(num_supersteps=8),
+                checkpoint_dir=str(directory),
+                max_supersteps=6,
+            ).run()
+        names = _ckpt_files(directory)
+        assert len(names) >= 2
+        bitflip_file(str(directory / names[-1]))
+        resumed = self._engine(
+            PageRank(num_supersteps=8),
+            checkpoint_dir=str(directory),
+            resume=True,
+        ).run()
+        assert canonical_result(resumed) == canonical_result(
+            baseline
+        )
+
+    def test_faulted_run_resumes_byte_identical(self, tmp_path):
+        # The injector's RNG stream and crash budget must continue
+        # mid-run, not restart from the plan seed.
+        directory = str(tmp_path / "ck")
+        plan = chaos_plan(crash_superstep=3, seed=5)
+        baseline = self._engine(
+            PageRank(num_supersteps=10), fault_plan=plan
+        ).run()
+        with pytest.raises(SuperstepLimitExceeded):
+            self._engine(
+                PageRank(num_supersteps=10),
+                fault_plan=chaos_plan(crash_superstep=3, seed=5),
+                checkpoint_dir=directory,
+                max_supersteps=7,
+            ).run()
+        resumed = self._engine(
+            PageRank(num_supersteps=10),
+            fault_plan=chaos_plan(crash_superstep=3, seed=5),
+            checkpoint_dir=directory,
+            resume=True,
+        ).run()
+        assert canonical_result(resumed) == canonical_result(
+            baseline
+        )
+
+    def test_fingerprint_guards_engine_resume(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        with pytest.raises(SuperstepLimitExceeded):
+            self._engine(
+                PageRank(num_supersteps=8),
+                checkpoint_dir=directory,
+                max_supersteps=5,
+            ).run()
+        with pytest.raises(FingerprintMismatchError):
+            self._engine(
+                PageRank(num_supersteps=8),
+                seed=12,  # different run configuration
+                checkpoint_dir=directory,
+                resume=True,
+            )
+
+    def test_resume_auto_covers_both_phases(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        baseline = self._engine(PageRank(num_supersteps=8)).run()
+        with pytest.raises(SuperstepLimitExceeded):
+            self._engine(
+                PageRank(num_supersteps=8),
+                checkpoint_dir=directory,
+                resume="auto",  # empty directory: starts fresh
+                max_supersteps=5,
+            ).run()
+        resumed = self._engine(
+            PageRank(num_supersteps=8),
+            checkpoint_dir=directory,
+            resume="auto",  # checkpoints present: resumes
+        ).run()
+        assert canonical_result(resumed) == canonical_result(
+            baseline
+        )
+
+    def test_unpicklable_state_is_a_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not durable"):
+            self._engine(
+                _UnpicklableProgram(num_supersteps=6),
+                checkpoint_dir=str(tmp_path / "ck"),
+            ).run()
+
+    def test_run_program_passes_durability_kwargs(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        baseline = run_program(
+            GRAPH,
+            PageRank(num_supersteps=6),
+            num_workers=3,
+            seed=1,
+            checkpoint_interval=2,
+        )
+        with pytest.raises(SuperstepLimitExceeded):
+            run_program(
+                GRAPH,
+                PageRank(num_supersteps=6),
+                num_workers=3,
+                seed=1,
+                checkpoint_interval=2,
+                checkpoint_dir=directory,
+                max_supersteps=4,
+            )
+        resumed = run_program(
+            GRAPH,
+            PageRank(num_supersteps=6),
+            num_workers=3,
+            seed=1,
+            checkpoint_interval=2,
+            checkpoint_dir=directory,
+            resume=True,
+        )
+        assert canonical_result(resumed) == canonical_result(
+            baseline
+        )
+
+
+class TestFingerprint:
+    def _fingerprint(self, **overrides):
+        kwargs = dict(
+            num_workers=3,
+            seed=11,
+            checkpoint_interval=2,
+            max_recovery_attempts=2,
+            confined_recovery=False,
+            use_fast_path=None,
+            track_bppa=False,
+            combiner=None,
+            partitioner=None,
+            cost_model=None,
+            fault_plan=None,
+        )
+        graph = overrides.pop("graph", GRAPH)
+        program = overrides.pop(
+            "program", PageRank(num_supersteps=8)
+        )
+        kwargs.update(overrides)
+        return config_fingerprint(graph, program, **kwargs)
+
+    def test_stable_for_equal_configs(self):
+        assert self._fingerprint() == self._fingerprint()
+
+    def test_sensitive_to_graph_program_and_knobs(self):
+        base = self._fingerprint()
+        other_graph = erdos_renyi_graph(
+            31, 0.15, seed=7, directed=True
+        )
+        assert self._fingerprint(graph=other_graph) != base
+        assert (
+            self._fingerprint(program=PageRank(num_supersteps=9))
+            != base
+        )
+        assert self._fingerprint(num_workers=4) != base
+        assert self._fingerprint(seed=12) != base
+        assert (
+            self._fingerprint(fault_plan=chaos_plan(seed=1)) != base
+        )

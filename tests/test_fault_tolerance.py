@@ -350,16 +350,32 @@ class TestRecoveryAccounting:
         )
 
     def test_invalid_checkpoint_interval(self):
-        with pytest.raises(CheckpointError):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
             PregelEngine(
                 UNDIRECTED, PageRank(), checkpoint_interval=0
             )
 
     def test_invalid_retry_budget(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="max_recovery_attempts"):
             PregelEngine(
-                UNDIRECTED, PageRank(), max_recovery_attempts=0
+                UNDIRECTED, PageRank(), max_recovery_attempts=-1
             )
+
+    def test_zero_retry_budget_exhausts_on_first_crash(self):
+        # max_recovery_attempts=0 is valid configuration: the first
+        # injected crash immediately exhausts recovery.
+        with pytest.raises(RecoveryExhaustedError):
+            PregelEngine(
+                UNDIRECTED,
+                PageRank(num_supersteps=6),
+                checkpoint_interval=2,
+                fault_plan=crash_plan(superstep=2, seed=5),
+                max_recovery_attempts=0,
+            ).run()
+
+    def test_resume_without_checkpoint_dir_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            PregelEngine(UNDIRECTED, PageRank(), resume=True)
 
 
 class TestFaultSmoke:
@@ -382,3 +398,58 @@ class TestFaultSmoke:
         out = capsys.readouterr().out
         assert "fault-tolerance smoke" in out
         assert "byte-identical" in out
+
+    def test_cli_faults_durable_then_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = str(tmp_path / "ck")
+        argv = [
+            "--faults",
+            "--scale",
+            "0.4",
+            "--checkpoint-dir",
+            directory,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Every faulted cell left a durable manifest behind...
+        cells = list((tmp_path / "ck").iterdir())
+        assert len(cells) == 20
+        assert all((c / "MANIFEST.json").exists() for c in cells)
+        # ...and a rerun resumes each cell from its final checkpoint,
+        # still facing (and passing) the determinism oracle.
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_cli_faults_fingerprint_mismatch_exits_4(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        directory = str(tmp_path / "ck")
+        argv = [
+            "--faults",
+            "--scale",
+            "0.4",
+            "--checkpoint-dir",
+            directory,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # A different seed is a different run configuration: resume
+        # must refuse with the documented exit code, not crash.
+        assert main(argv + ["--seed", "9", "--resume"]) == 4
+        err = capsys.readouterr().err
+        assert "checkpoint error" in err
+
+    def test_cli_durability_flags_require_faults(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--checkpoint-dir", "/tmp/nope"])
+        assert exc.value.code == 2
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(["--faults", "--resume"])
+        assert exc.value.code == 2

@@ -171,11 +171,13 @@ class TestSuperstepLoop:
         assert host.executed == 5
 
     def test_rejects_bad_recovery_budget(self):
+        # 0 is legal (the first crash exhausts recovery); negatives
+        # are configuration errors.
         with pytest.raises(ValueError):
             SuperstepLoop(
                 max_supersteps=1,
                 program_name="x",
                 num_workers=1,
                 cost_model=BSPCostModel(),
-                max_recovery_attempts=0,
+                max_recovery_attempts=-1,
             )

@@ -34,6 +34,11 @@ for _mod in pkgutil.walk_packages(
 ):
     importlib.import_module(_mod.name)
 
+# The chaos programs ride the same pipe to rank processes as any
+# other program; make sure discovery sees them regardless of whether
+# the chaos suite ran first.
+importlib.import_module("repro.core.chaos")
+
 
 def _all_program_classes():
     found = []
@@ -69,6 +74,7 @@ CONSTRUCTORS = {
     "BoruvkaMST": lambda cls: cls(),
     "BrandesBetweenness": lambda cls: cls([0]),
     "ColoringSCC": lambda cls: cls(),
+    "CoordinatorKiller": lambda cls: cls(num_supersteps=5),
     "EccentricityFlood": lambda cls: cls(),
     "EulerTour": lambda cls: cls(),
     "HashMinComponents": lambda cls: cls(),
@@ -80,10 +86,17 @@ CONSTRUCTORS = {
     "LubyMISColoring": lambda cls: cls(),
     "PageRank": lambda cls: cls(num_supersteps=5),
     "PointToPointShortestPath": lambda cls: cls(0, 1),
+    "RankHanger": lambda cls: cls(
+        flag_path="/tmp/flag", num_supersteps=5
+    ),
+    "RankKiller": lambda cls: cls(
+        flag_path="/tmp/flag", num_supersteps=5
+    ),
     "ReachabilityQuery": lambda cls: cls(0, 1),
     "ShiloachVishkin": lambda cls: cls(),
     "SimulationProgram": lambda cls: cls(_query_graph()),
     "SingleSourceShortestPaths": lambda cls: cls(0),
+    "SlowRank": lambda cls: cls(delay=0.01, num_supersteps=5),
     "TriangleCounting": lambda cls: cls(),
     "TwinExchangeMarking": lambda cls: cls({}),
     "WeaklyConnectedComponents": lambda cls: cls(),
