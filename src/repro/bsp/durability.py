@@ -41,11 +41,16 @@ budget, recovery mode, execution-path request, BPPA tracking, the
 combiner/partitioner/cost-model configuration, and the fault plan.
 Resuming against a directory whose fingerprint differs raises
 :class:`~repro.errors.FingerprintMismatchError` instead of silently
-mixing incompatible state.  Two knobs are deliberately *excluded*:
+mixing incompatible state.  Three knobs are deliberately *excluded*:
 
 * the backend — serial, fast-path and process-parallel execution are
   byte-identical by contract, so a run checkpointed under one backend
   may resume under another;
+* the parallel backend's ``transport`` — columnar and pickle are wire
+  formats over the same rank-ordered merge, byte-identical by the
+  same contract (the ``transport`` kwarg is consumed by
+  ``ParallelPregelEngine`` and never reaches the fingerprint), so a
+  run checkpointed under one transport resumes under the other;
 * ``max_supersteps`` — it is a guard, not semantics; the canonical
   reason to resume is "the run was killed, give it more budget".
 
@@ -187,9 +192,10 @@ def config_fingerprint(
     """Fingerprint the (graph, program, engine-config) tuple.
 
     Everything that shapes deterministic execution is folded in; the
-    backend and ``max_supersteps`` are deliberately excluded (see the
-    module docstring).  Uses SHA-256 over canonical ``repr`` strings,
-    so the result is independent of ``PYTHONHASHSEED``.
+    backend, the parallel transport, and ``max_supersteps`` are
+    deliberately excluded (see the module docstring).  Uses SHA-256
+    over canonical ``repr`` strings, so the result is independent of
+    ``PYTHONHASHSEED``.
     """
     parts = [
         f"format={FORMAT_VERSION}",

@@ -576,15 +576,13 @@ class PregelEngine:
                 owner.pop(vid, None)
         entry = self._superstep_stats(superstep, active_count)
         stats.supersteps.append(entry)
+        ws = fabric.workers
         stats.record_wall(
             SuperstepWall(
                 superstep=superstep,
-                compute_seconds=[
-                    w.wall_seconds for w in fabric.workers
-                ],
-                barrier_seconds=[
-                    w.barrier_seconds for w in fabric.workers
-                ],
+                compute_seconds=[w.wall_seconds for w in ws],
+                barrier_seconds=[w.barrier_seconds for w in ws],
+                payload_bytes=[w.payload_bytes for w in ws],
             )
         )
         if trace is not None:
@@ -765,7 +763,8 @@ def create_engine(
     process parallelism cannot be byte-identical (confined recovery,
     ``use_fast_path=False``, programs flagged ``parallel_safe=False``
     — see ``docs/parallel_backend.md``), so selecting it is always
-    safe.
+    safe.  Backend-specific kwargs pass through — notably the
+    parallel backend's ``transport=`` tier selector.
     """
     backend = backend or _default_backend
     if backend not in BACKENDS:

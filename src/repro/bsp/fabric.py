@@ -463,6 +463,18 @@ class MessageFabric:
             return self.out_pending
         return sum(len(v) for v in self.outbox.values())
 
+    def rank_inbound(self, num_ranks: int):
+        """The dense inbox bucketed by owning rank for the parallel
+        backend's dispatch: one ``[(dense idx, messages)]`` list per
+        rank, in slot-delivery order (``in_dirty``), which is the
+        order the serial dense pass would consume the same slots."""
+        owner_of = self.dense.owner_of
+        in_slots = self.in_slots
+        inbound = [[] for _ in range(num_ranks)]
+        for idx in self.in_dirty:
+            inbound[owner_of[idx]].append((idx, in_slots[idx]))
+        return inbound
+
     # ------------------------------------------------------------------
     # Checkpoint views
     # ------------------------------------------------------------------

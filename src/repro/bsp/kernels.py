@@ -29,8 +29,10 @@ state layout, while the two Pregel kernels share one engine and are
 swapped at runtime, which is why they are split out here.
 
 The process-parallel backend (:mod:`repro.bsp.parallel`) replaces
-:func:`dense_compute_pass` with a fan-out to real OS processes; the
-serial kernels remain its in-process fallback.
+:func:`dense_compute_pass` with a fan-out to real OS processes whose
+rank loops run :func:`rank_compute_pass` — the dense loop re-rooted
+at a rank's resident partition slice — while the serial kernels
+remain its in-process fallback.
 """
 
 from __future__ import annotations
@@ -144,3 +146,62 @@ def dense_compute_pass(engine, wake_all: bool) -> int:
         in_slots[idx] = None
     fabric.in_dirty = []
     return active_count
+
+
+def rank_compute_pass(part, wake_all: bool, msgs_of: dict):
+    """One pool rank's slice of a compute pass, executed inside the
+    rank's own process against its resident partition.
+
+    The loop body is :func:`dense_compute_pass`'s inner loop verbatim
+    — same visit order (the rank's dense range mirrors the serial
+    worker's), same wake/halt transitions, work accounting, and
+    tracker feed — re-rooted at a ``_PartitionRuntime`` (which plays
+    the fabric's role for sends) instead of the engine.  Inboxes
+    arrive as ``msgs_of`` (dense idx -> messages) decoded from the
+    transport rather than from the coordinator's slot arrays.
+
+    Returns ``(active, work, executed, tracker_rows)``; ``executed``
+    is the dense-index visit order the coordinator uses to replay
+    values, halt flags and tracker rows in serial order.
+    """
+    ctx = part.ctx
+    program = part.program
+    compute = program.compute
+    state_size = program.state_size
+    begin_vertex = ctx._begin_vertex
+    track = part.track_bppa
+    tracker_rows = [] if track else None
+    start = part.range_start
+    active = 0
+    work = 0.0
+    executed = []
+    for off, state in enumerate(part.states):
+        idx = start + off
+        messages = msgs_of.get(idx)
+        if messages:
+            state.halted = False
+        elif state.halted and not wake_all:
+            continue
+        else:
+            if wake_all:
+                state.halted = False
+            messages = []
+        active += 1
+        part.progress += 1
+        part._cur_off = off
+        begin_vertex(state)
+        compute(state, messages, ctx)
+        ops = 1 + len(messages) + ctx._sent + ctx._charged
+        work += ops
+        executed.append(idx)
+        if track:
+            tracker_rows.append(
+                (
+                    state.id,
+                    ctx._sent,
+                    len(messages),
+                    ops,
+                    state_size(state),
+                )
+            )
+    return active, work, executed, tracker_rows

@@ -288,6 +288,7 @@ def emit_superstep_commit(
                 sent_remote=w.sent_remote,
                 wall_seconds=w.wall_seconds,
                 barrier_seconds=w.barrier_seconds,
+                payload_bytes=w.payload_bytes,
             )
         )
     trace.emit(

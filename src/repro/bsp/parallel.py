@@ -94,11 +94,44 @@ superstep boundary and the retry is byte-identical by construction.
 An ``atexit`` sweep kills any pool the interpreter abandons, so no
 orphan rank processes outlive an interrupted run.
 
+Transport tiers
+---------------
+
+Two wire formats move a superstep across the rank boundary, selected
+by the ``transport`` kwarg (``"auto"``/``"columnar"`` — the default —
+or ``"pickle"``):
+
+* **columnar** (:mod:`repro.bsp.shm_transport`): one shared-memory
+  segment per pool, created by the coordinator and mapped once by
+  every rank, carries inbound slot batches and effect-set columns as
+  raw ``float64``/``int64`` lanes; the pipe moves only a small header
+  of scalars and lane descriptors.  For fixed-width numeric workloads
+  (PageRank, SSSP, WCC/hashmin) steady-state supersteps serialize
+  nothing but that header.  Any column the codec cannot take — mixed
+  or non-numeric types (e.g. BFS-tree's dict values), out-of-range
+  ints, capacity overflow — rides the pipe pickled in the header's
+  spill dict instead: degradation is per column and per superstep,
+  never a mode switch, and the decoded structures are exactly what
+  the pickle tier ships, so the rank-ordered merge (and with it byte
+  identity) is untouched.  ``columnar_supersteps`` counts supersteps
+  that crossed fully columnar in both directions on every rank.
+* **pickle**: the original everything-through-the-pipe format, kept
+  as the fallback tier and selectable outright for A/B measurement.
+
+If the segment cannot be created (no shared-memory support) the pool
+still runs on the pickle tier, recording why in
+``transport_disabled_reason``.  Segment lifecycle is tied to the
+pool's: every teardown route destroys it, each rank's orphan watchdog
+unlinks it when the coordinator vanishes, and
+:func:`repro.bsp.shm_transport.sweep_leaked_segments` reaps segments
+whose creating process died without running either.
+
 Wall-clock speedup is real but bounded by the host:
-``RunStats.wall`` records per-rank compute seconds and barrier wait —
-measurements excluded from the byte-identity contract — and
-``benchmarks/bench_engine.py --parallel`` sweeps worker counts into
-``BENCH_parallel.json``.
+``RunStats.wall`` records per-rank compute seconds, barrier wait, and
+per-rank pipe payload bytes — measurements excluded from the
+byte-identity contract — and ``benchmarks/bench_engine.py
+--parallel`` sweeps worker counts and transports into
+``BENCH_parallel_shm.json``.
 """
 
 from __future__ import annotations
@@ -115,9 +148,11 @@ import weakref
 from multiprocessing import connection as mp_connection
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from repro.bsp import shm_transport
 from repro.bsp.context import ComputeContext
 from repro.bsp.combiner import SumCombiner
 from repro.bsp.engine import PregelEngine, PregelResult
+from repro.bsp.kernels import rank_compute_pass
 from repro.bsp.vertex import VertexState
 from repro.errors import MessageToUnknownVertexError
 from repro.graph.graph import Graph
@@ -128,6 +163,23 @@ from repro.trace.events import Handoff
 #: change detection blobs (highest = fastest, and both sides of every
 #: comparison use the same protocol).
 _PROTO = pickle.HIGHEST_PROTOCOL
+
+#: Recognised values of the engine's ``transport`` kwarg.
+TRANSPORTS = ("auto", "columnar", "pickle")
+
+
+def _send_msg(conn, msg) -> int:
+    """Ship one pipe message explicitly framed as a pickle blob;
+    returns the blob length.  Framing the bytes ourselves (instead of
+    ``Connection.send``'s implicit pickling) is what makes the
+    per-superstep ``payload_bytes`` observable exact, not estimated."""
+    blob = pickle.dumps(msg, _PROTO)
+    conn.send_bytes(blob)
+    return len(blob)
+
+
+def _recv_msg(conn):
+    return pickle.loads(conn.recv_bytes())
 
 
 def default_start_method() -> str:
@@ -168,7 +220,13 @@ class _PartitionRuntime:
         self.program: VertexProgram = init["program"]
         self.combiner = init["combiner"]
         self.track_bppa: bool = init["track_bppa"]
-        self.agg_names = frozenset(init["agg_names"])
+        # Shipped sorted; the index mapping is the columnar codec's
+        # name lane (coordinator decodes with the same sorted list).
+        agg_sorted = list(init["agg_names"])
+        self.agg_names = frozenset(agg_sorted)
+        self.agg_index = {
+            name: i for i, name in enumerate(agg_sorted)
+        }
         self.rng = random.Random()
         self.rng.setstate(init["rng_state"])
         self._rng_baseline = init["rng_state"]
@@ -372,9 +430,10 @@ class _PartitionRuntime:
     ) -> Dict[str, Any]:
         """Run my slice of one compute pass; return the effect set.
 
-        The loop body is the serial ``_compute_pass_fast`` inner loop
-        verbatim — same visit order, wake/halt transitions, work
-        accounting, and tracker feed.
+        The vertex loop itself lives with the other kernels
+        (:func:`repro.bsp.kernels.rank_compute_pass`) — same visit
+        order, wake/halt transitions, work accounting, and tracker
+        feed as the serial dense pass.
         """
         if program_state is not None:
             # master_compute mutated the program since the last ship.
@@ -383,45 +442,10 @@ class _PartitionRuntime:
         msgs_of = dict(inbound)
         ctx = self.ctx
         ctx._begin_superstep(superstep, agg_prev)
-        program = self.program
-        compute = program.compute
-        state_size = program.state_size
-        begin_vertex = ctx._begin_vertex
-        track = self.track_bppa
-        tracker_rows: Optional[List[Tuple]] = [] if track else None
+        active, work, executed, tracker_rows = rank_compute_pass(
+            self, wake_all, msgs_of
+        )
         start = self.range_start
-        active = 0
-        work = 0.0
-        executed: List[int] = []
-        for off, state in enumerate(self.states):
-            idx = start + off
-            messages = msgs_of.get(idx)
-            if messages:
-                state.halted = False
-            elif state.halted and not wake_all:
-                continue
-            else:
-                if wake_all:
-                    state.halted = False
-                messages = []
-            active += 1
-            self.progress += 1
-            self._cur_off = off
-            begin_vertex(state)
-            compute(state, messages, ctx)
-            ops = 1 + len(messages) + ctx._sent + ctx._charged
-            work += ops
-            executed.append(idx)
-            if track:
-                tracker_rows.append(
-                    (
-                        state.id,
-                        ctx._sent,
-                        len(messages),
-                        ops,
-                        state_size(state),
-                    )
-                )
         # Detach the touched accumulator slots for shipping.
         touched = self.acc_touched
         acc = self.acc
@@ -498,22 +522,34 @@ def _worker_main(
     rank must not linger — under the fork start method sibling ranks
     inherit each other's pipe fds, so the EOF a dead coordinator
     would normally deliver can be held open indefinitely by a
-    sibling.  ``os._exit`` keeps the no-orphans guarantee regardless.
+    sibling.  ``os._exit`` keeps the no-orphans guarantee regardless;
+    before exiting, the watchdog unlinks the pool's shared-memory
+    segment (idempotently — every exiting rank may try), because the
+    dead coordinator's own cleanup hooks never ran.
     """
     part: Optional[_PartitionRuntime] = None
+    seg: Optional[shm_transport.ColumnarSegment] = None
     send_lock = threading.Lock()
     stepping = threading.Event()
     stop = threading.Event()
     parent_pid = os.getppid()
 
     def _send(msg) -> None:
+        blob = pickle.dumps(msg, _PROTO)
         with send_lock:
-            conn.send(msg)
+            conn.send_bytes(blob)
 
     def _heartbeat() -> None:
         while not stop.wait(hb_interval):
             if os.getppid() != parent_pid:
-                os._exit(0)  # orphaned: the coordinator is gone
+                # Orphaned: the coordinator is gone and cannot unlink
+                # the segment itself.
+                if seg is not None:
+                    try:
+                        seg.destroy()
+                    except Exception:
+                        pass
+                os._exit(0)
             if part is None or not stepping.is_set():
                 continue
             try:
@@ -526,38 +562,75 @@ def _worker_main(
         daemon=True,
         name=f"repro-bsp-hb-{rank}",
     ).start()
-    while True:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            return
-        cmd = msg[0]
-        try:
-            if cmd == "init":
-                part = _PartitionRuntime(rank, msg[1])
-                _send(("ready", rank))
-            elif cmd == "step":
-                t0 = time.perf_counter()
-                stepping.set()
-                try:
-                    resp = part.step(*msg[1:])
-                finally:
-                    stepping.clear()
-                resp["seconds"] = time.perf_counter() - t0
-                _send(("ok", resp))
-            elif cmd == "reload":
-                part.reload(msg[1])
-                _send(("ready", rank))
-            elif cmd == "stop":
-                stop.set()
-                with send_lock:
-                    conn.close()
-                return
-        except BaseException as exc:  # ship the failure, stay alive
+    try:
+        while True:
             try:
-                _send(("err", exc))
-            except Exception:
-                _send(("err", RuntimeError(repr(exc))))
+                msg = _recv_msg(conn)
+            except (EOFError, OSError):
+                return
+            cmd = msg[0]
+            try:
+                if cmd == "init":
+                    part = _PartitionRuntime(rank, msg[1])
+                    desc = msg[1].get("shm")
+                    if seg is not None:
+                        seg.close()
+                        seg = None
+                    if desc is not None:
+                        seg = shm_transport.ColumnarSegment.attach(
+                            desc
+                        )
+                    _send(("ready", rank))
+                elif cmd == "step":
+                    superstep, wake_all, agg_prev, inbound, state = (
+                        msg[1:]
+                    )
+                    if seg is not None and type(inbound) is tuple:
+                        inbound = shm_transport.decode_inbound(
+                            seg, rank, inbound
+                        )
+                    t0 = time.perf_counter()
+                    stepping.set()
+                    try:
+                        resp = part.step(
+                            superstep, wake_all, agg_prev,
+                            inbound, state,
+                        )
+                    finally:
+                        stepping.clear()
+                    seconds = time.perf_counter() - t0
+                    resp["seconds"] = seconds
+                    reply = ("ok", resp)
+                    if seg is not None:
+                        # Per-column degradation happens inside
+                        # encode_reply; a whole-reply failure (lane
+                        # overflow, unexpected type) falls back to
+                        # the pickle tier for this superstep.
+                        try:
+                            header = shm_transport.encode_reply(
+                                seg, rank, resp, part.agg_index
+                            )
+                            header["seconds"] = seconds
+                            reply = ("okc", header)
+                        except Exception:
+                            reply = ("ok", resp)
+                    _send(reply)
+                elif cmd == "reload":
+                    part.reload(msg[1])
+                    _send(("ready", rank))
+                elif cmd == "stop":
+                    stop.set()
+                    with send_lock:
+                        conn.close()
+                    return
+            except BaseException as exc:  # ship failure, stay alive
+                try:
+                    _send(("err", exc))
+                except Exception:
+                    _send(("err", RuntimeError(repr(exc))))
+    finally:
+        if seg is not None:
+            seg.close()
 
 
 # ---------------------------------------------------------------------
@@ -604,7 +677,7 @@ class _WorkerLink:
 
     def stop(self) -> None:
         try:
-            self.conn.send(("stop",))
+            _send_msg(self.conn, ("stop",))
         except Exception:
             pass
         try:
@@ -679,12 +752,22 @@ class ParallelPregelEngine(PregelEngine):
         Base of the bounded exponential backoff slept before each
         pool restart (default 0.05s; doubles per restart, capped at
         2s).
+    transport:
+        ``"auto"`` / ``"columnar"`` (equivalent defaults): supersteps
+        cross the rank boundary as shared-memory columns with a tiny
+        pipe header, degrading per column to pickled spill for
+        non-conforming data.  ``"pickle"``: the original fully
+        pickled pipe traffic, kept for A/B measurement and as the
+        tier columnar falls back to when shared memory is
+        unavailable (see :attr:`transport_disabled_reason`).
 
     The engine degrades to the byte-identical serial path whenever
     process parallelism cannot preserve the contract; inspect
     :attr:`parallel_disabled_reason` / :attr:`parallel_supersteps` /
     :attr:`rank_restarts` / :attr:`rank_failures` to see what a run
-    actually did.
+    actually did, and :attr:`transport_tier` /
+    :attr:`columnar_supersteps` / :attr:`pickle_supersteps` for how
+    its bytes moved.
     """
 
     backend_name = "parallel"
@@ -699,8 +782,14 @@ class ParallelPregelEngine(PregelEngine):
         rank_heartbeat_interval: float = 0.25,
         max_rank_restarts: int = 2,
         rank_restart_backoff: float = 0.05,
+        transport: str = "auto",
         **kwargs,
     ):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got "
+                f"{transport!r}"
+            )
         if rank_stall_timeout <= 0:
             raise ValueError(
                 "rank_stall_timeout must be > 0, got "
@@ -732,6 +821,13 @@ class ParallelPregelEngine(PregelEngine):
         self._pool_setup_timeout = max(
             120.0, float(rank_stall_timeout)
         )
+        self._transport = (
+            "columnar" if transport == "auto" else transport
+        )
+        self._segment: Optional[
+            shm_transport.ColumnarSegment
+        ] = None
+        self._agg_list: List[str] = []
         self._links: Optional[List[_WorkerLink]] = None
         self._pool_disabled = False
         self._program_blob: Optional[bytes] = None
@@ -741,6 +837,16 @@ class ParallelPregelEngine(PregelEngine):
         self.rank_failures: List[Tuple[int, int, str]] = []
         #: Supersteps whose compute pass actually ran on the pool.
         self.parallel_supersteps = 0
+        #: Pool supersteps that crossed the boundary fully columnar —
+        #: both directions shared-memory lanes, nothing pickled but
+        #: the header — on every rank.
+        self.columnar_supersteps = 0
+        #: Why the columnar tier is unavailable (shared memory could
+        #: not be set up); ``None`` while it works or was never
+        #: requested.  Distinct from ``parallel_disabled_reason``:
+        #: losing the columnar tier only drops to the pickle tier,
+        #: the pool keeps running.
+        self.transport_disabled_reason: Optional[str] = None
         #: Why the pool is (or became) unused; None while eligible.
         self.parallel_disabled_reason: Optional[str] = None
         if not getattr(program, "parallel_safe", True):
@@ -758,6 +864,29 @@ class ParallelPregelEngine(PregelEngine):
     def parallel_active(self) -> bool:
         """True while the process pool is alive."""
         return self._links is not None
+
+    @property
+    def transport_tier(self) -> str:
+        """``"columnar"`` or ``"pickle"`` — the tier pool supersteps
+        use (individual columns can still spill to the pipe; see
+        :attr:`columnar_supersteps` for the all-columnar count)."""
+        if (
+            self._transport == "pickle"
+            or self.transport_disabled_reason is not None
+        ):
+            return "pickle"
+        return "columnar"
+
+    @property
+    def pickle_supersteps(self) -> int:
+        """Pool supersteps that moved at least one pickled column (or
+        ran on the pickle tier outright)."""
+        return self.parallel_supersteps - self.columnar_supersteps
+
+    def _destroy_segment(self) -> None:
+        seg, self._segment = self._segment, None
+        if seg is not None:
+            seg.destroy()
 
     def _disable_pool(self, reason: str) -> None:
         self._pool_disabled = True
@@ -810,6 +939,11 @@ class ParallelPregelEngine(PregelEngine):
             "track_bppa": self._tracker is not None,
             "agg_names": sorted(self._aggregators),
             "rng_state": self.rng.getstate(),
+            "shm": (
+                None
+                if self._segment is None
+                else self._segment.descriptor
+            ),
         }
 
     def _reload_payload(self, rank: int) -> Dict[str, Any]:
@@ -841,6 +975,26 @@ class ParallelPregelEngine(PregelEngine):
         except Exception as exc:
             self._disable_pool(f"program not picklable: {exc!r}")
             return False
+        self._agg_list = sorted(self._aggregators)
+        if (
+            self._transport == "columnar"
+            and self.transport_disabled_reason is None
+        ):
+            # Losing shared memory only costs the columnar tier —
+            # the pool still runs on the pickle tier.
+            try:
+                dense = self._fabric.dense
+                self._segment = shm_transport.ColumnarSegment(
+                    len(dense.id_of),
+                    dense.ranges,
+                    combining=self._combiner is not None,
+                    tracking=self._tracker is not None,
+                )
+            except Exception as exc:
+                self._segment = None
+                self.transport_disabled_reason = (
+                    f"shared memory unavailable: {exc!r}"
+                )
         links: List[_WorkerLink] = []
         try:
             mp_ctx = multiprocessing.get_context(self._mp_method)
@@ -851,7 +1005,10 @@ class ParallelPregelEngine(PregelEngine):
                     )
                 )
             for link in links:
-                link.conn.send(("init", self._init_payload(link.rank)))
+                _send_msg(
+                    link.conn,
+                    ("init", self._init_payload(link.rank)),
+                )
             for link in links:
                 reply = self._recv_ready(link)
                 if reply[0] != "ready":
@@ -859,6 +1016,7 @@ class ParallelPregelEngine(PregelEngine):
         except Exception as exc:
             for link in links:
                 link.kill()
+            self._destroy_segment()
             self._disable_pool(f"pool startup failed: {exc!r}")
             return False
         self._links = links
@@ -874,7 +1032,7 @@ class ParallelPregelEngine(PregelEngine):
         while True:
             try:
                 if conn.poll(0.05):
-                    msg = conn.recv()
+                    msg = _recv_msg(conn)
                     if msg[0] != "hb":
                         return msg
                     continue
@@ -903,11 +1061,11 @@ class ParallelPregelEngine(PregelEngine):
         if reason is not None:
             self._disable_pool(reason)
         links = self._links
-        if links is None:
-            return
         self._links = None
-        for link in links:
-            link.stop()
+        if links is not None:
+            for link in links:
+                link.stop()
+        self._destroy_segment()
 
     def __del__(self):  # pragma: no cover - interpreter teardown
         try:
@@ -945,6 +1103,7 @@ class ParallelPregelEngine(PregelEngine):
         if links:
             for link in links:
                 link.kill()
+        self._destroy_segment()
 
     def _handle_rank_failure(self, failure: _RankFailure) -> None:
         """Account one rank failure, kill the whole pool, and either
@@ -1020,12 +1179,14 @@ class ParallelPregelEngine(PregelEngine):
             # have changed while the pool is alive).
             for link in links:
                 if link.rank in respawned:
-                    link.conn.send(
-                        ("init", self._init_payload(link.rank))
+                    _send_msg(
+                        link.conn,
+                        ("init", self._init_payload(link.rank)),
                     )
                 else:
-                    link.conn.send(
-                        ("reload", self._reload_payload(link.rank))
+                    _send_msg(
+                        link.conn,
+                        ("reload", self._reload_payload(link.rank)),
                     )
             for link in links:
                 reply = self._recv_ready(link)
@@ -1040,9 +1201,7 @@ class ParallelPregelEngine(PregelEngine):
     def _compute_pass_parallel(self, wake_all: bool) -> int:
         links = self._links
         fabric = self._fabric
-        dense = fabric.dense
-        owner_of = dense.owner_of
-        in_slots = fabric.in_slots
+        seg = self._segment
         # Program state may have been mutated by master_compute since
         # the last superstep; ship it only when its bytes changed.
         try:
@@ -1057,24 +1216,32 @@ class ParallelPregelEngine(PregelEngine):
         if blob != self._program_blob:
             self._program_blob = blob
             ship_state = program_state
-        inbound: List[List[Tuple[int, List[Any]]]] = [
-            [] for _ in links
-        ]
-        for idx in fabric.in_dirty:
-            inbound[owner_of[idx]].append((idx, in_slots[idx]))
+        inbound = fabric.rank_inbound(len(links))
         superstep = self._ctx.superstep
         agg_prev = self._agg_finalized
+        down_bytes: List[int] = [0] * len(links)
+        down_columnar = True
         for link in links:
+            batch: Any = inbound[link.rank]
+            if seg is not None:
+                desc = shm_transport.encode_inbound(
+                    seg, link.rank, batch
+                )
+                if desc is not None:
+                    batch = desc
+                else:
+                    down_columnar = False
             try:
-                link.conn.send(
+                down_bytes[link.rank] = _send_msg(
+                    link.conn,
                     (
                         "step",
                         superstep,
                         wake_all,
                         agg_prev,
-                        inbound[link.rank],
+                        batch,
                         ship_state,
-                    )
+                    ),
                 )
             except (EOFError, OSError, BrokenPipeError) as exc:
                 # A dead rank is a restartable failure, not a
@@ -1083,11 +1250,27 @@ class ParallelPregelEngine(PregelEngine):
                 raise _RankFailure(
                     link.rank, f"pipe closed on dispatch ({exc!r})"
                 )
-        replies = self._collect_step_replies(links)
+        replies, reply_bytes = self._collect_step_replies(links)
         for reply in replies:  # rank order = serial raise order
             if reply[0] == "err":
                 raise reply[1]
-        payloads = [reply[1] for reply in replies]
+        all_columnar = seg is not None and down_columnar
+        payloads: List[Dict[str, Any]] = []
+        id_of = fabric.dense.id_of
+        for link, reply in zip(links, replies):
+            if reply[0] == "okc":
+                resp, columnar = shm_transport.decode_reply(
+                    seg, link.rank, reply[1], id_of, self._agg_list
+                )
+                all_columnar = all_columnar and columnar
+            else:
+                resp = reply[1]
+                all_columnar = False
+            payloads.append(resp)
+        for rank, pl in enumerate(payloads):
+            pl["payload_bytes"] = (
+                down_bytes[rank] + reply_bytes[rank]
+            )
         if any(pl["drew"] for pl in payloads):
             # The program consumed the run's shared RNG stream, whose
             # draw order is sequential across workers.  Discard the
@@ -1097,13 +1280,16 @@ class ParallelPregelEngine(PregelEngine):
                 "program drew from the shared RNG stream"
             )
             return super()._compute_pass_fast(wake_all)
+        if all_columnar:
+            self.columnar_supersteps += 1
         return self._apply_parallel_results(payloads)
 
     def _collect_step_replies(
         self, links: List[_WorkerLink]
-    ) -> List[Tuple]:
+    ) -> Tuple[List[Tuple], List[int]]:
         """Collect one step reply per rank with hang-aware deadline
-        polling instead of blocking ``recv`` calls.
+        polling instead of blocking ``recv`` calls; returns the
+        replies and each reply's pipe blob length in rank order.
 
         A rank's deadline is extended only when its heartbeat
         progress counter *advances*: a rank that is alive but stuck
@@ -1120,6 +1306,7 @@ class ParallelPregelEngine(PregelEngine):
         }
         link_of = {link.conn: link for link in links}
         replies: Dict[int, Tuple] = {}
+        reply_bytes: Dict[int, int] = {}
         progress: Dict[int, int] = {
             link.rank: -1 for link in links
         }
@@ -1137,13 +1324,15 @@ class ParallelPregelEngine(PregelEngine):
                 rank = link.rank
                 try:
                     while rank in pending and conn.poll(0):
-                        msg = conn.recv()
+                        raw = conn.recv_bytes()
+                        msg = pickle.loads(raw)
                         if msg[0] == "hb":
                             if msg[1] > progress[rank]:
                                 progress[rank] = msg[1]
                                 deadline[rank] = now + timeout
                         else:
                             replies[rank] = msg
+                            reply_bytes[rank] = len(raw)
                             del pending[rank]
                 except (EOFError, OSError) as exc:
                     raise _RankFailure(
@@ -1164,7 +1353,10 @@ class ParallelPregelEngine(PregelEngine):
                         "stalled: no progress within "
                         f"{timeout:g}s",
                     )
-        return [replies[link.rank] for link in links]
+        return (
+            [replies[link.rank] for link in links],
+            [reply_bytes[link.rank] for link in links],
+        )
 
     def _apply_parallel_results(
         self, payloads: List[Dict[str, Any]]
@@ -1199,6 +1391,7 @@ class ParallelPregelEngine(PregelEngine):
             worker.sent_remote = pl["sent_remote"]
             worker.wall_seconds = pl["seconds"]
             worker.barrier_seconds = max_seconds - pl["seconds"]
+            worker.payload_bytes = pl.get("payload_bytes", 0)
             active_count += pl["active"]
             total_pending += pl["pending"]
             for idx, value in pl["values"]:

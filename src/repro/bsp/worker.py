@@ -32,6 +32,7 @@ class Worker:
         "sent_remote",
         "wall_seconds",
         "barrier_seconds",
+        "payload_bytes",
     )
 
     def __init__(self, index: int):
@@ -56,6 +57,11 @@ class Worker:
         # excluded from the byte-identity contract.
         self.wall_seconds = 0.0
         self.barrier_seconds = 0.0
+        # Serialized bytes this worker's share of the superstep moved
+        # across the process boundary (parallel backend pipes); 0 on
+        # in-process backends.  A measurement like the wall columns,
+        # outside the byte-identity contract.
+        self.payload_bytes = 0
 
     def reset_counters(self) -> None:
         """Zero the per-superstep profile."""
@@ -67,6 +73,7 @@ class Worker:
         self.sent_remote = 0
         self.wall_seconds = 0.0
         self.barrier_seconds = 0.0
+        self.payload_bytes = 0
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (

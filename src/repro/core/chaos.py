@@ -45,6 +45,7 @@ from typing import List, Optional
 
 from repro.algorithms.pagerank import PageRank
 from repro.bsp.engine import run_program
+from repro.bsp.shm_transport import sweep_leaked_segments
 from repro.errors import CheckpointError, RecoveryExhaustedError
 from repro.graph.generators import erdos_renyi_graph
 
@@ -278,6 +279,15 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=["serial", "parallel"], default="serial"
     )
+    parser.add_argument(
+        "--transport",
+        choices=["auto", "columnar", "pickle"],
+        default="auto",
+        help=(
+            "parallel-backend transport tier (ignored for the serial "
+            "backend)"
+        ),
+    )
     parser.add_argument("--n", type=int, default=40)
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--supersteps", type=int, default=12)
@@ -292,8 +302,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     if args.kill_at is not None:
         os.environ[KILL_AT_ENV] = str(args.kill_at)
+    if args.resume:
+        # A SIGKILLed coordinator never ran its unlink hooks; its
+        # rank watchdogs normally reap the segment, but a fresh
+        # interpreter resuming the run sweeps any dead-pid leftovers
+        # as the belt-and-braces route (shm_transport docstring).
+        swept = sweep_leaked_segments()
+        if swept:
+            print(
+                f"swept_segments={','.join(sorted(swept))}",
+                file=sys.stderr,
+            )
     graph = chaos_graph(args.n, seed=args.seed)
     program = CoordinatorKiller(num_supersteps=args.supersteps)
+    kwargs = {}
+    if args.backend == "parallel":
+        kwargs["transport"] = args.transport
     try:
         result = run_program(
             graph,
@@ -304,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_interval=args.checkpoint_interval,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            **kwargs,
         )
     except RecoveryExhaustedError as exc:
         print(f"recovery exhausted: {exc}", file=sys.stderr)

@@ -15,7 +15,9 @@ from repro.trace.events import (
     FaultInjected,
     Handoff,
     Rollback,
+    SuperstepStart,
     TraceEvent,
+    WorkerProfile,
 )
 from repro.trace.recorder import stats_from_events
 from repro.trace.straggler import format_straggler
@@ -105,13 +107,39 @@ def format_report(rows: Sequence[Table1Row]) -> str:
     return "\n".join(parts)
 
 
+def _payload_bytes_per_superstep(
+    events: Sequence[TraceEvent],
+) -> dict:
+    """Per-superstep serialized boundary bytes of the stream's last
+    run, summed over workers with last-execution-wins semantics
+    (mirroring :func:`stats_from_events`): a new run resets the whole
+    table, a re-executed superstep resets its own row."""
+    payload: dict = {}
+    for e in events:
+        if (
+            isinstance(e, SuperstepStart)
+            and e.superstep == 0
+            and e.execution == 1
+        ):
+            payload = {}
+        elif isinstance(e, WorkerProfile):
+            if e.worker == 0:
+                payload[e.superstep] = 0
+            payload[e.superstep] = (
+                payload.get(e.superstep, 0) + e.payload_bytes
+            )
+    return payload
+
+
 def format_trace_report(events: Sequence[TraceEvent]) -> str:
     """Render a captured trace stream as a human-readable report.
 
-    Four sections: the event census, the per-superstep cost
+    Five sections: the event census, the per-superstep cost
     attribution (which term of ``max(w, g*h, L)`` was binding), the
     per-worker straggler profile reconstructed from the committed
-    worker profiles, and — when the run was faulted — the injected
+    worker profiles, the per-superstep boundary bytes (only when some
+    superstep actually crossed a process boundary — i.e. the parallel
+    backend ran), and — when the run was faulted — the injected
     faults, rollbacks and path handoffs.
 
     A trace may span several runs (``repro-table1 --trace`` captures
@@ -140,6 +168,21 @@ def format_trace_report(events: Sequence[TraceEvent]) -> str:
     if supersteps:
         parts.append("== straggler profile (last run) ==")
         parts.append(format_straggler(supersteps))
+        parts.append("")
+
+    payload = _payload_bytes_per_superstep(events)
+    if any(total for total in payload.values()):
+        parts.append("== boundary bytes (last run) ==")
+        parts.append(
+            f"  {'superstep':>9}  {'payload_bytes':>13}"
+        )
+        for superstep in sorted(payload):
+            parts.append(
+                f"  {superstep:>9}  {payload[superstep]:>13}"
+            )
+        parts.append(
+            f"  {'total':>9}  {sum(payload.values()):>13}"
+        )
         parts.append("")
 
     faults = [e for e in events if isinstance(e, FaultInjected)]

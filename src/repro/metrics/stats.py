@@ -34,11 +34,19 @@ class SuperstepWall:
     times; on the process-parallel backend both columns are real
     concurrency measurements, which makes the cost model's ``w``
     imbalance *observable* instead of merely modeled.
+
+    ``payload_bytes[i]`` is the serialized bytes worker ``i``'s share
+    of the superstep moved across the process boundary (dispatch +
+    reply pipe blobs on the parallel backend; columnar lane traffic
+    rides shared memory and is deliberately excluded — the column
+    measures serialization pressure).  ``None`` on in-process
+    backends, where nothing crosses a boundary.
     """
 
     superstep: int
     compute_seconds: List[float]
     barrier_seconds: List[float]
+    payload_bytes: Optional[List[int]] = None
 
     @property
     def elapsed(self) -> float:
@@ -47,6 +55,14 @@ class SuperstepWall:
         execution — both equal ``max + barrier`` bookkeeping-wise, so
         we report the straggler bound."""
         return max(self.compute_seconds, default=0.0)
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Serialized boundary bytes summed over workers (0 when the
+        superstep ran in-process)."""
+        if not self.payload_bytes:
+            return 0
+        return sum(self.payload_bytes)
 
     @property
     def wall_imbalance(self) -> float:

@@ -107,10 +107,15 @@ class WorkerProfile(TraceEvent):
     sent_remote: int
     wall_seconds: float = 0.0
     barrier_seconds: float = 0.0
+    #: Serialized bytes this worker's superstep share moved across
+    #: the process boundary (parallel backend); informational like
+    #: the wall columns — a transport measurement, not a modeled
+    #: quantity.
+    payload_bytes: int = 0
 
     kind: ClassVar[str] = "worker_profile"
     informational: ClassVar[FrozenSet[str]] = frozenset(
-        {"wall_seconds", "barrier_seconds"}
+        {"wall_seconds", "barrier_seconds", "payload_bytes"}
     )
 
 

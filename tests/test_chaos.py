@@ -16,6 +16,7 @@ import os
 import signal
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -25,6 +26,7 @@ from repro.bsp.parallel import (
     ParallelPregelEngine,
     _kill_leaked_pools,
 )
+from repro.bsp.shm_transport import SEG_PREFIX
 from repro.core.chaos import (
     CoordinatorKiller,
     RankHanger,
@@ -242,6 +244,113 @@ class TestKillAndResume:
         )
         assert result.returncode == 4
         assert "checkpoint error" in result.stderr
+
+
+def _repro_segments():
+    try:
+        return {
+            n for n in os.listdir("/dev/shm")
+            if n.startswith(SEG_PREFIX)
+        }
+    except OSError:  # pragma: no cover - non-/dev/shm platform
+        return set()
+
+
+class TestSegmentHygiene:
+    """The columnar transport's shared-memory segments must not
+    survive any of the chaos suite's failure modes — a leaked segment
+    is leaked RAM for the rest of the boot."""
+
+    def test_rank_sigkill_and_pool_restart_leak_no_segments(
+        self, tmp_path
+    ):
+        # The SIGKILLed rank never runs cleanup; the pool teardown and
+        # restart must retire the old segment and the run must still
+        # finish byte-identical on a fresh one.
+        flag = str(tmp_path / "kill-once")
+        before = _repro_segments()
+        baseline = _serial(
+            RankKiller(flag_path=flag, num_supersteps=8)
+        )
+        engine = _parallel_engine(
+            RankKiller(flag_path=flag, num_supersteps=8),
+            transport="columnar",
+        )
+        result = engine.run()
+        assert canonical_result(result) == canonical_result(
+            baseline
+        )
+        assert engine.rank_restarts >= 1
+        assert engine.transport_disabled_reason is None
+        assert engine.columnar_supersteps >= 1
+        assert _repro_segments() == before
+
+    def test_restart_budget_exhaustion_leaks_no_segments(self):
+        # Every pool generation gets its own segment; repeated kills
+        # followed by permanent serial degradation must retire all of
+        # them.
+        before = _repro_segments()
+        engine = _parallel_engine(
+            RankKiller(flag_path=None, num_supersteps=8),
+            max_rank_restarts=1,
+            transport="columnar",
+        )
+        engine.run()
+        assert engine.rank_restarts == 2
+        assert _repro_segments() == before
+
+    def test_coordinator_sigkill_then_resume_leaks_no_segments(
+        self, tmp_path
+    ):
+        # The coordinator dies by SIGKILL, so its own unlink hooks
+        # never run: the rank orphan watchdogs and the resume-time
+        # dead-pid sweep must retire the segment between them, and
+        # the resumed run must still match the uninterrupted digest.
+        directory = str(tmp_path / "ck")
+        before = _repro_segments()
+        killed = _chaos_subprocess(
+            "--backend",
+            "parallel",
+            "--transport",
+            "columnar",
+            "--checkpoint-dir",
+            directory,
+            "--kill-at",
+            "6",
+        )
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+        resumed = _chaos_subprocess(
+            "--backend",
+            "parallel",
+            "--transport",
+            "columnar",
+            "--checkpoint-dir",
+            directory,
+            "--resume",
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        digest_line = next(
+            line
+            for line in resumed.stdout.splitlines()
+            if line.startswith("digest=")
+        )
+        baseline = run_program(
+            chaos_graph(40, seed=3),
+            CoordinatorKiller(num_supersteps=12),
+            num_workers=4,
+            seed=3,
+            checkpoint_interval=2,
+        )
+        assert digest_line == f"digest={result_digest(baseline)}"
+        # Orphaned rank watchdogs may lag the subprocess exit by one
+        # poll interval; the segments must drain, not merely shrink.
+        deadline = time.monotonic() + 15
+        while (
+            _repro_segments() - before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.2)
+        assert _repro_segments() - before == set()
 
 
 class TestOrphanCleanup:

@@ -1,9 +1,10 @@
-"""Differential fuzzing across the three execution paths.
+"""Differential fuzzing across the four execution paths.
 
 For a deterministic matrix of seeded random graphs x workloads x
-worker counts x fault plans, every case runs three times — on the
+worker counts x fault plans, every case runs four times — on the
 reference dict path, the dense fast path, and the process-parallel
-backend — and all three runs must be **byte-identical**: same values
+backend on each of its two transports (shared-memory columnar and
+pickle) — and all four runs must be **byte-identical**: same values
 (compared per entry through pickle, so identity sharing inside one
 backend cannot mask or fake a difference), same ``RunStats`` ledgers,
 same BPPA observation, same aggregate history.
@@ -53,7 +54,9 @@ FAULT_MODES = [
     ("msg-drop", lambda: drop_plan(rate=0.25, seed=9)),
 ]
 
-BACKENDS = ["reference", "fast", "parallel"]
+#: "parallel" pins the pickle transport explicitly (the fallback
+#: tier); "parallel-shm" is the shared-memory columnar transport.
+BACKENDS = ["reference", "fast", "parallel", "parallel-shm"]
 
 
 def _case_recipe(wl_name: str, workers: int, fault_name: str) -> dict:
@@ -88,8 +91,12 @@ def _run_case(graph, make_program, natural, recipe, backend, workers,
             use_fast_path=True, **kwargs,
         )
     else:
+        transport = (
+            "columnar" if backend == "parallel-shm" else "pickle"
+        )
         engine = create_engine(
-            graph, make_program(), backend="parallel", **kwargs,
+            graph, make_program(), backend="parallel",
+            transport=transport, **kwargs,
         )
     return engine, engine.run()
 
@@ -167,14 +174,28 @@ def test_differential_fuzz(
     for backend, result in results.items():
         assert result.stats.ledger_balanced(), f"{backend}; {repro}"
     # The canonical workloads never mutate topology or draw RNG, so
-    # the pool must have run every superstep (the parallel run must
+    # the pool must have run every superstep (the parallel runs must
     # not silently degrade to serial and pass the comparison that
     # way).
-    par = engines["parallel"]
-    assert par.parallel_disabled_reason is None, repro
-    # >= because crash plans re-execute rolled-back supersteps on the
-    # pool too.
-    assert par.parallel_supersteps >= ref.stats.num_supersteps, repro
+    for backend in ("parallel", "parallel-shm"):
+        par = engines[backend]
+        assert par.parallel_disabled_reason is None, (
+            f"{backend}; {repro}"
+        )
+        # >= because crash plans re-execute rolled-back supersteps on
+        # the pool too.
+        assert par.parallel_supersteps >= ref.stats.num_supersteps, (
+            f"{backend}; {repro}"
+        )
+    # The shm run must actually have used the columnar tier (per-
+    # column spill for non-conforming data — e.g. BFS-tree's dict
+    # values — is fine; losing shared memory outright is not).
+    shm = engines["parallel-shm"]
+    assert shm.transport_disabled_reason is None, repro
+    assert shm.transport_tier == "columnar", repro
+    # And the pickle run must not have paid for a segment it was told
+    # not to create.
+    assert engines["parallel"].transport_tier == "pickle", repro
 
 
 # ---------------------------------------------------------------------

@@ -1,0 +1,362 @@
+"""The shared-memory columnar transport: lane codec, segment
+lifecycle, end-to-end byte identity, per-column degradation, and leak
+hygiene (``repro.bsp.shm_transport``)."""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from array import array
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.bsp.combiner import resolve_combiner
+from repro.bsp.engine import create_engine
+from repro.bsp.shm_transport import (
+    SEG_PREFIX,
+    ColumnarSegment,
+    encode_lane,
+    sweep_leaked_segments,
+)
+from repro.graph import erdos_renyi_graph
+from tests.conftest import WORKLOADS
+from tests.test_differential_fuzz import canonical
+
+
+def _repro_segments():
+    try:
+        return [
+            n for n in os.listdir("/dev/shm")
+            if n.startswith(SEG_PREFIX)
+        ]
+    except OSError:  # pragma: no cover - non-/dev/shm platform
+        return []
+
+
+# ---------------------------------------------------------------------
+# Lane codec
+# ---------------------------------------------------------------------
+
+
+class TestEncodeLane:
+    def test_float_lane_is_bit_exact(self):
+        vals = [
+            0.15,
+            -0.0,
+            float("inf"),
+            float("-inf"),
+            float("nan"),
+            5e-324,
+            1.7976931348623157e308,
+        ]
+        code, column = encode_lane(vals)
+        assert code == "d"
+        back = column.tolist()
+        # Bit-level comparison: NaN != NaN under ==, and -0.0 == 0.0
+        # would mask a sign flip.
+        assert [
+            math.copysign(1.0, v) if v == 0 else v for v in back
+        ] == pytest.approx(
+            [math.copysign(1.0, v) if v == 0 else v for v in vals],
+            nan_ok=True,
+        )
+        assert [pickle.dumps(v) for v in back] == [
+            pickle.dumps(v) for v in vals
+        ]
+
+    def test_int_lane_roundtrips(self):
+        vals = [0, -1, 2**62, -(2**62), 41]
+        code, column = encode_lane(vals)
+        assert code == "q"
+        assert column.tolist() == vals
+
+    def test_empty_lane_encodes(self):
+        code, column = encode_lane([])
+        assert len(column) == 0
+
+    def test_rejects_mixed_types(self):
+        assert encode_lane([1, 2.0]) is None
+
+    def test_rejects_bools(self):
+        # True pickles differently from 1; coercing it into an int64
+        # lane would break byte identity.
+        assert encode_lane([True, False]) is None
+        assert encode_lane([1, True]) is None
+
+    def test_rejects_non_numeric(self):
+        assert encode_lane(["a", "b"]) is None
+        assert encode_lane([(1, 2)]) is None
+        assert encode_lane([{"depth": 0}]) is None
+        assert encode_lane([None]) is None
+
+    def test_rejects_out_of_range_ints(self):
+        assert encode_lane([2**63]) is None
+        assert encode_lane([0, -(2**63) - 1]) is None
+
+
+# ---------------------------------------------------------------------
+# Segment lifecycle
+# ---------------------------------------------------------------------
+
+
+class TestColumnarSegment:
+    def test_write_read_roundtrip_via_attachment(self):
+        seg = ColumnarSegment(
+            10, [(0, 5), (5, 10)], combining=True, tracking=True
+        )
+        try:
+            other = ColumnarSegment.attach(seg.descriptor)
+            try:
+                floats = array("d", [0.5, -1.25, float("inf")])
+                ints = array("q", [3, -7, 2**40])
+                seg.write(1, "up_values", floats)
+                seg.write(1, "up_executed", ints)
+                assert other.read(1, "up_values", "d", 3) == (
+                    floats.tolist()
+                )
+                assert other.read(1, "up_executed", "q", 3) == (
+                    ints.tolist()
+                )
+                # Ranks' lanes do not alias each other.
+                assert other.read(0, "up_values", "d", 3) == [
+                    0.0, 0.0, 0.0,
+                ]
+            finally:
+                other.close()
+        finally:
+            seg.destroy()
+
+    def test_attach_reconstructs_identical_layout(self):
+        seg = ColumnarSegment(
+            8, [(0, 8)], combining=False, tracking=False
+        )
+        try:
+            other = ColumnarSegment.attach(seg.descriptor)
+            assert other._offsets == seg._offsets
+            assert other.size == seg.size
+            other.close()
+        finally:
+            seg.destroy()
+
+    def test_write_overflow_raises_never_truncates(self):
+        seg = ColumnarSegment(
+            4, [(0, 4)], combining=False, tracking=False
+        )
+        try:
+            cap = seg.cap(0, "up_executed")
+            with pytest.raises(ValueError):
+                seg.write(
+                    0, "up_executed", array("q", [0] * (cap + 1))
+                )
+        finally:
+            seg.destroy()
+
+    def test_close_and_unlink_are_idempotent(self):
+        seg = ColumnarSegment(
+            4, [(0, 4)], combining=False, tracking=False
+        )
+        name = seg.name
+        seg.destroy()
+        seg.destroy()
+        seg.close()
+        seg.unlink()
+        assert name not in _repro_segments()
+
+    def test_segment_names_carry_creator_pid(self):
+        seg = ColumnarSegment(
+            4, [(0, 4)], combining=False, tracking=False
+        )
+        try:
+            assert seg.name.startswith(SEG_PREFIX)
+            pid_hex = seg.name[len(SEG_PREFIX):].split("_")[0]
+            assert int(pid_hex, 16) == os.getpid()
+        finally:
+            seg.destroy()
+
+
+def test_sweep_reaps_dead_pid_segments_only():
+    # A segment "created" by a certainly-dead pid must be swept; a
+    # live-pid segment (ours) must survive.
+    dead_pid = 0x7FFFFFF0
+    with pytest.raises(OSError):
+        os.kill(dead_pid, 0)
+    from multiprocessing import resource_tracker, shared_memory
+
+    leaked = shared_memory.SharedMemory(
+        name=f"{SEG_PREFIX}{dead_pid:x}_deadbeef",
+        create=True,
+        size=64,
+    )
+    # Simulate the creator's death: its resource tracker would have
+    # died with it, so retire this process's registration up front
+    # (otherwise the tracker warns about the already-swept name at
+    # interpreter exit).
+    resource_tracker.unregister(leaked._name, "shared_memory")
+    leaked.close()
+    live = ColumnarSegment(
+        4, [(0, 4)], combining=False, tracking=False
+    )
+    try:
+        removed = sweep_leaked_segments()
+        assert f"{SEG_PREFIX}{dead_pid:x}_deadbeef" in removed
+        assert live.name in _repro_segments()
+    finally:
+        live.destroy()
+    assert f"{SEG_PREFIX}{dead_pid:x}_deadbeef" not in (
+        _repro_segments()
+    )
+
+
+# ---------------------------------------------------------------------
+# End to end through the engine
+# ---------------------------------------------------------------------
+
+
+def _run(graph, make_prog, natural, **kw):
+    engine = create_engine(
+        graph,
+        make_prog(),
+        combiner=resolve_combiner(natural),
+        num_workers=4,
+        **kw,
+    )
+    return engine, engine.run()
+
+
+def _boundary_bytes(result):
+    return sum(w.total_payload_bytes for w in (result.stats.wall or []))
+
+
+def test_columnar_pagerank_identical_and_smaller():
+    graph = erdos_renyi_graph(60, 0.10, seed=3)
+    make_prog = lambda: PageRank(num_supersteps=10)
+    _, ref = _run(graph, make_prog, "sum", backend="serial")
+    shm_engine, shm_res = _run(
+        graph, make_prog, "sum", backend="parallel",
+        transport="columnar",
+    )
+    pik_engine, pik_res = _run(
+        graph, make_prog, "sum", backend="parallel",
+        transport="pickle",
+    )
+    assert canonical(shm_res) == canonical(ref)
+    assert canonical(pik_res) == canonical(ref)
+    assert shm_engine.transport_tier == "columnar"
+    assert shm_engine.transport_disabled_reason is None
+    # Float values + combined float payloads: every pool superstep
+    # crosses fully columnar.
+    assert shm_engine.columnar_supersteps > 0
+    assert (
+        shm_engine.columnar_supersteps
+        == shm_engine.parallel_supersteps
+    )
+    assert shm_engine.pickle_supersteps == 0
+    # The point of the transport: fewer serialized boundary bytes.
+    assert _boundary_bytes(shm_res) < _boundary_bytes(pik_res)
+
+
+def test_every_workload_identical_on_both_transports():
+    for name, graph, make_prog, natural in WORKLOADS:
+        _, ref = _run(graph, make_prog, natural, backend="serial")
+        _, shm_res = _run(
+            graph, make_prog, natural, backend="parallel",
+            transport="columnar",
+        )
+        _, pik_res = _run(
+            graph, make_prog, natural, backend="parallel",
+            transport="pickle",
+        )
+        assert canonical(shm_res) == canonical(ref), name
+        assert canonical(pik_res) == canonical(ref), name
+
+
+def test_non_conforming_values_spill_but_stay_identical():
+    # BFS-tree's values are dicts: the value column must degrade to
+    # the pickled spill while everything else stays columnar, and the
+    # run must remain byte-identical.
+    name, graph, make_prog, natural = next(
+        w for w in WORKLOADS if w[0] == "bfs-tree"
+    )
+    _, ref = _run(graph, make_prog, natural, backend="serial")
+    engine, res = _run(
+        graph, make_prog, natural, backend="parallel",
+        transport="columnar",
+    )
+    assert canonical(res) == canonical(ref)
+    assert engine.transport_tier == "columnar"
+    assert engine.parallel_supersteps > 0
+    # The spilled value column makes these supersteps mixed-tier.
+    assert engine.columnar_supersteps == 0
+    assert engine.pickle_supersteps == engine.parallel_supersteps
+
+
+def test_pickle_transport_creates_no_segment():
+    graph = erdos_renyi_graph(40, 0.1, seed=5)
+    before = set(_repro_segments())
+    engine, _ = _run(
+        graph,
+        lambda: PageRank(num_supersteps=5),
+        "sum",
+        backend="parallel",
+        transport="pickle",
+    )
+    assert engine._segment is None
+    assert set(_repro_segments()) == before
+
+
+def test_auto_is_columnar():
+    graph = erdos_renyi_graph(30, 0.1, seed=5)
+    engine, _ = _run(
+        graph,
+        lambda: PageRank(num_supersteps=4),
+        "sum",
+        backend="parallel",
+    )
+    assert engine.transport_tier == "columnar"
+    assert engine.columnar_supersteps > 0
+
+
+def test_transport_kwarg_validated():
+    graph = erdos_renyi_graph(10, 0.2, seed=1)
+    with pytest.raises(ValueError, match="transport"):
+        create_engine(
+            graph,
+            PageRank(num_supersteps=2),
+            backend="parallel",
+            transport="carrier-pigeon",
+        )
+
+
+def test_clean_run_leaves_no_segments():
+    graph = erdos_renyi_graph(40, 0.1, seed=7)
+    before = set(_repro_segments())
+    _run(
+        graph,
+        lambda: PageRank(num_supersteps=5),
+        "sum",
+        backend="parallel",
+        transport="columnar",
+    )
+    assert set(_repro_segments()) == before
+
+
+def test_payload_bytes_exposed_per_superstep():
+    graph = erdos_renyi_graph(40, 0.1, seed=7)
+    _, res = _run(
+        graph,
+        lambda: PageRank(num_supersteps=5),
+        "sum",
+        backend="parallel",
+        transport="columnar",
+    )
+    assert res.stats.wall
+    for wall in res.stats.wall:
+        assert wall.payload_bytes is not None
+        assert len(wall.payload_bytes) == 4
+        assert wall.total_payload_bytes > 0
+    # Serial runs cross no process boundary.
+    _, ser = _run(graph, lambda: PageRank(num_supersteps=5), "sum",
+                  backend="serial")
+    assert all(w.total_payload_bytes == 0 for w in ser.stats.wall)
