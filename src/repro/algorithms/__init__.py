@@ -69,6 +69,7 @@ from repro.algorithms.coloring_mis import (
     luby_coloring,
 )
 from repro.algorithms.common import PipelineResult, as_pipeline
+from repro.algorithms.degree import DegreeCentrality, degree_centrality
 from repro.algorithms.diameter import EccentricityFlood, apsp, diameter
 from repro.algorithms.gas_programs import (
     HashMinGAS,
@@ -155,6 +156,8 @@ __all__ = [
     "luby_coloring",
     "PipelineResult",
     "as_pipeline",
+    "DegreeCentrality",
+    "degree_centrality",
     "EccentricityFlood",
     "apsp",
     "diameter",

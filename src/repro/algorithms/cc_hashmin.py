@@ -63,6 +63,18 @@ def repr_key(value):
     return (0, "", value)
 
 
+# Steady-state supersteps (1+) vectorize: min-reduce each dirty slot
+# under repr_key and fan improved labels out through the fabric.
+# Superstep 0 (candidate gathering) stays per-vertex.
+from functools import partial as _partial  # noqa: E402
+
+from repro.bsp import kernels as _kernels  # noqa: E402
+
+_kernels.register_vectorized(
+    HashMinComponents, _partial(_kernels.make_hashmin_kernel, key=repr_key)
+)
+
+
 def hash_min_components(
     graph: Graph, **engine_kwargs
 ) -> PregelResult:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from repro.bsp import kernels as _kernels
 from repro.bsp.aggregator import SumAggregator
 from repro.bsp.context import ComputeContext, MasterContext
 from repro.bsp.engine import PregelResult, run_program
@@ -87,6 +88,16 @@ class PageRank(VertexProgram):
         change = master.get_aggregate("l1_change")
         if change is not None and change < self.tolerance:
             master.halt()
+
+
+# The vectorized kernel reproduces compute()'s float sequence exactly
+# (seed/steady/final phases keyed on the superstep number); the rank
+# entry lets parallel pool ranks run it on their partition slices.
+_kernels.register_vectorized(
+    PageRank,
+    _kernels.make_pagerank_kernel,
+    rank=(_kernels.pagerank_rank_allow, _kernels.make_pagerank_rank_kernel),
+)
 
 
 def pagerank(

@@ -49,6 +49,23 @@ class WeaklyConnectedComponents(VertexProgram):
         vertex.vote_to_halt()
 
 
+# Steady-state supersteps vectorize with the per-vertex peer sets
+# (the program's own _peers expression) precompiled to dense indices;
+# superstep 0 (initial broadcast) stays per-vertex.
+from functools import partial as _partial  # noqa: E402
+
+from repro.bsp import kernels as _kernels  # noqa: E402
+
+_kernels.register_vectorized(
+    WeaklyConnectedComponents,
+    _partial(
+        _kernels.make_wcc_kernel,
+        key=repr_key,
+        peers_of=WeaklyConnectedComponents._peers,
+    ),
+)
+
+
 def weakly_connected_components(
     graph: Graph, **engine_kwargs
 ) -> PregelResult:

@@ -82,7 +82,11 @@ from repro.bsp.durability import (
 )
 from repro.bsp.fabric import MessageFabric
 from repro.bsp.faults import FaultInjector, FaultPlan
-from repro.bsp.kernels import dense_compute_pass, reference_compute_pass
+from repro.bsp.kernels import (
+    fast_compute_pass,
+    has_vectorized_kernel,
+    reference_compute_pass,
+)
 from repro.bsp.loop import (
     CheckpointPolicy,
     SuperstepLoop,
@@ -185,6 +189,19 @@ class PregelEngine:
         fast path; raises :class:`ValueError` when combined with
         ``confined_recovery``.  Either way the first applied topology
         mutation permanently falls back to the reference path.
+    use_vectorized:
+        ``None`` (default): on the fast path, run supersteps through
+        the program's registered vectorized kernel whenever its
+        exact-reproduction proof holds, silently falling back to the
+        per-vertex dense pass otherwise (fault-injected runs stay
+        per-vertex throughout).  ``False``: never vectorize.
+        ``True``: require the capability — raises
+        :class:`ValueError` unless the fast path is enabled and the
+        program class has a registered kernel (per-superstep fallback
+        still applies; the tier actually used each superstep is
+        recorded in ``SuperstepWall.kernel_tier`` and the workers'
+        trace profiles).  Not part of the checkpoint fingerprint:
+        the tiers are byte-identical, so resume across them is legal.
     trace:
         A :class:`~repro.trace.recorder.TraceRecorder` to receive the
         run's structured events (superstep lifecycle, per-worker
@@ -218,6 +235,7 @@ class PregelEngine:
         checkpoint_dir: Optional[str] = None,
         resume=False,
         use_fast_path: Optional[bool] = None,
+        use_vectorized: Optional[bool] = None,
         trace: Optional[TraceRecorder] = None,
     ):
         if checkpoint_interval is not None and checkpoint_interval < 1:
@@ -330,6 +348,21 @@ class PregelEngine:
         if use_fast_path is None:
             use_fast_path = not confined_recovery
         self._fast_enabled = bool(use_fast_path)
+        if use_vectorized:
+            if not self._fast_enabled:
+                raise ValueError(
+                    "use_vectorized=True requires the dense fast path "
+                    "(it cannot combine with use_fast_path=False or "
+                    "confined_recovery)"
+                )
+            if not has_vectorized_kernel(type(program)):
+                raise ValueError(
+                    "use_vectorized=True but no vectorized kernel is "
+                    f"registered for {type(program).__name__}"
+                )
+        self._use_vectorized = use_vectorized
+        self._kernel_tier = "reference"
+        self._vector_kernel_cache = None
         self._enqueue = self._fabric.enqueue
         self._fanout = self._fabric.fanout
         if self._fast_enabled:
@@ -583,6 +616,7 @@ class PregelEngine:
                 compute_seconds=[w.wall_seconds for w in ws],
                 barrier_seconds=[w.barrier_seconds for w in ws],
                 payload_bytes=[w.payload_bytes for w in ws],
+                kernel_tier=self._kernel_tier,
             )
         )
         if trace is not None:
@@ -607,10 +641,11 @@ class PregelEngine:
         return False
 
     def _compute_pass_reference(self, wake_all: bool) -> int:
+        self._kernel_tier = "reference"
         return reference_compute_pass(self, wake_all)
 
     def _compute_pass_fast(self, wake_all: bool) -> int:
-        return dense_compute_pass(self, wake_all)
+        return fast_compute_pass(self, wake_all)
 
     # ------------------------------------------------------------------
     # Checkpointing and recovery

@@ -463,6 +463,14 @@ class MessageFabric:
             return self.out_pending
         return sum(len(v) for v in self.outbox.values())
 
+    def slot_view(self, start: int, stop: int):
+        """Bulk view of the inbound slot mailboxes for dense range
+        ``[start, stop)``: one slice, no per-slot indexing.  The
+        vectorized kernels gather over these views; entries are the
+        same list objects the per-vertex pass would read (``None`` for
+        empty slots), so nothing is copied."""
+        return self.in_slots[start:stop]
+
     def rank_inbound(self, num_ranks: int):
         """The dense inbox bucketed by owning rank for the parallel
         backend's dispatch: one ``[(dense idx, messages)]`` list per

@@ -33,11 +33,50 @@ The process-parallel backend (:mod:`repro.bsp.parallel`) replaces
 rank loops run :func:`rank_compute_pass` — the dense loop re-rooted
 at a rank's resident partition slice — while the serial kernels
 remain its in-process fallback.
+
+The vectorized tier
+-------------------
+
+On top of the two per-vertex loops sits an opt-in third tier:
+whole-partition **vectorized kernels** that execute one superstep of a
+*registered* program as array-shaped passes over the fabric's bulk
+slot-mailbox views and a scatter plan precompiled from the dense
+adjacency (an SpMV transposed into per-destination gather lists, held
+in stdlib ``array`` lanes like the shm transport's columns; numpy, if
+importable, accelerates elementwise steps only — never reductions).
+Exact reproduction is the admission rule, not a goal: a kernel
+registers for exactly one program class (``register_vectorized``) and
+engages only when :meth:`applies` proves the superstep's semantics are
+expressible with the *identical* float operation sequence as the
+per-vertex loop — fixed summation order within a slot, left folds with
+no injected zero seed (which would flip ``-0.0``), division by the
+same exactly-converted degree.  Every other superstep — fault-injected
+runs, mutations (which disengage the fast path entirely), wake-all
+phases, unregistered programs, non-conforming topology — falls back to
+:func:`dense_compute_pass` per superstep, mirroring the shm
+transport's per-column spill design.  :func:`fast_compute_pass` is the
+dispatcher the engine binds as its fast pass; the tier actually used
+is reported per superstep via ``engine._kernel_tier`` /
+``Worker.kernel_tier`` (observability only — never part of the
+byte-identity surface).
 """
 
 from __future__ import annotations
 
+import operator
 import time
+from array import array
+from collections import deque
+from functools import partial, reduce
+from itertools import repeat
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.bsp.aggregator import SumAggregator
+
+try:
+    import numpy as _np
+except Exception:
+    _np = None
 
 
 def reference_compute_pass(engine, wake_all: bool) -> int:
@@ -205,3 +244,1128 @@ def rank_compute_pass(part, wake_all: bool, msgs_of: dict):
                 )
             )
     return active, work, executed, tracker_rows
+
+
+# --------------------------------------------------------------------------
+# Vectorized kernel tier
+# --------------------------------------------------------------------------
+
+#: Exact program type -> ``factory(engine, program) -> kernel | None``.
+#: Keyed on the *exact* class (no subclass lookup): a subclass may
+#: override ``compute`` and silently diverge from the kernel's baked-in
+#: semantics, so it must re-register explicitly to opt in.
+_VECTOR_KERNELS: Dict[type, Callable] = {}
+
+#: Exact program type -> ``(allow_fn, factory)`` for the pool-rank side.
+#: ``allow_fn(engine, superstep, wake_all)`` runs on the coordinator
+#: against the authoritative fabric state; ``factory(part)`` compiles
+#: the kernel inside the rank process against its partition slice.
+_RANK_KERNELS: Dict[type, Tuple[Callable, Callable]] = {}
+
+
+def register_vectorized(program_cls, factory, rank=None) -> None:
+    """Register a vectorized kernel factory for ``program_cls``.
+
+    ``factory(engine, program)`` returns a kernel object (``tier``
+    attr, ``applies(engine, superstep, wake_all) -> phase | None``,
+    ``run(engine, phase) -> active_count``) or ``None`` when the
+    current topology can't be reproduced exactly (the dispatcher then
+    stays on :func:`dense_compute_pass` for the run).  ``rank`` is an
+    optional ``(allow_fn, rank_factory)`` pair enabling the kernel
+    inside parallel pool ranks.
+    """
+    _VECTOR_KERNELS[program_cls] = factory
+    if rank is not None:
+        _RANK_KERNELS[program_cls] = rank
+
+
+def has_vectorized_kernel(program_cls) -> bool:
+    """True when a vectorized kernel is registered for the exact class."""
+    return program_cls in _VECTOR_KERNELS
+
+
+def rank_kernel_factory(program_cls):
+    """The pool-rank kernel factory for ``program_cls``, or ``None``."""
+    entry = _RANK_KERNELS.get(program_cls)
+    return entry[1] if entry is not None else None
+
+
+def rank_vector_allow(engine, superstep: int, wake_all: bool) -> bool:
+    """Coordinator-side gate: may pool ranks vectorize this superstep?
+
+    Evaluated against the authoritative (coordinator) fabric state so
+    every rank receives the same verdict; mirrors the serial
+    dispatcher's gates (explicit opt-out, fault injector present,
+    unregistered program) plus the kernel's own ``applies`` test.
+    """
+    if engine._use_vectorized is False or engine._injector is not None:
+        return False
+    entry = _RANK_KERNELS.get(type(engine._program))
+    if entry is None:
+        return False
+    return bool(entry[0](engine, superstep, wake_all))
+
+
+def _segment_folder(combine):
+    """Left fold with *no* initial value, matching send-time combining.
+
+    The per-vertex path folds a destination's messages pairwise in
+    arrival order (``acc = combine(acc, msg)``), seeded by the first
+    message itself — never by a literal zero, which would turn
+    ``-0.0`` into ``+0.0`` under sum-combining.  Kept as a module-level
+    hook so the oracle-differential tests can swap in a deliberately
+    re-associated fold and prove the harness catches it.
+    """
+    return partial(reduce, combine)
+
+
+def _affine(totals, scale, shift):
+    """``shift + scale * totals[i]`` elementwise — one IEEE-754
+    multiply and one add per element under either implementation
+    (both ops are commutative and round identically), so numpy may
+    accelerate it when importable."""
+    if _np is not None:
+        return (
+            _np.array(totals, dtype=_np.float64) * scale + shift
+        ).tolist()
+    return [shift + scale * t for t in totals]
+
+
+def _elementwise_div(vals, degs, np_degs):
+    """``vals[i] / degs[i]`` elementwise — IEEE-754 double division is
+    bit-identical whether performed by CPython or numpy, so this (and
+    only this kind of elementwise, non-reducing step) may be
+    accelerated when numpy is importable."""
+    if _np is not None and np_degs is not None:  # pragma: no cover
+        return (_np.array(vals, dtype=_np.float64) / np_degs).tolist()
+    return list(map(operator.truediv, vals, degs))
+
+
+_HALTED = operator.attrgetter("halted")
+_VALUE = operator.attrgetter("value")
+_SUB = operator.sub
+_SETITEM = operator.setitem
+#: ``getter(shares)`` as a mappable: C-level apply over a getter column.
+_CALL_WITH = operator.methodcaller
+
+
+def _drain(iterator):
+    """Run a C-level ``map`` pipeline for its side effects (a
+    zero-length deque consumes without buffering)."""
+    deque(iterator, maxlen=0)
+
+
+class _ScatterLane:
+    """A precompiled scatter plan for one worker's dense range.
+
+    Transposes the range's out-adjacency into per-destination gather
+    lists over the range's *share values* (one value per sending
+    vertex, in ascending vertex order — the exact order the per-vertex
+    loop would enqueue).  Destinations with a single contributor are
+    batched behind one flat ``itemgetter`` (``s_dst``/``s_get``).
+    Destinations with 2..``_GROUP_MAX`` contributors are grouped by
+    contributor count ``k`` and transposed once more into ``k``
+    *contributor columns* (``groups``): column ``j`` holds every
+    grouped destination's ``j``-th message position, so one whole
+    group folds with ``k - 1`` flat C-level ``map(combine, ...)``
+    passes — the same per-destination left fold, batched.  The rare
+    fatter destinations keep their own getter and fold count
+    (``m_dst``/``m_get``/``m_cnt``).  ``order`` is the first-touch
+    destination order — identical to the accumulator ``acc_touched``
+    order the per-vertex pass would produce — and ``novel`` (see
+    :func:`_link_commit_order`) is its cross-lane deduplication.
+    Index lanes are stdlib ``array('q')`` / ``array('d')`` columns,
+    same conventions as the shm transport.
+    """
+
+    __slots__ = (
+        "n",
+        "value_getter",
+        "degs",
+        "np_degs",
+        "order",
+        "novel",
+        "s_dst",
+        "s_get",
+        "groups",
+        "m_dst",
+        "m_get",
+        "m_cnt",
+        "sent",
+        "remote",
+    )
+
+
+#: Largest contributor count still transposed into columns; fatter
+#: destinations (graph hubs) fold per destination, where the fold's
+#: own cost amortizes over their many messages.
+_GROUP_MAX = 64
+
+
+def _column_getter(positions):
+    """Flat C-level getter for one column of share positions (an
+    ``itemgetter`` needs the slice form to stay a sequence when the
+    column has a single entry)."""
+    if len(positions) == 1:
+        return operator.itemgetter(slice(positions[0], positions[0] + 1))
+    return operator.itemgetter(*positions)
+
+
+def _compile_scatter_lane(lo, hi, dense_out, remote_out):
+    """Compile the scatter plan for dense positions ``[lo, hi)``.
+
+    ``dense_out``/``remote_out`` are indexed by those positions (global
+    dense index serially, local offset in a pool rank); destination
+    indices in ``dense_out`` rows are global either way.  Returns
+    ``None`` when any vertex in range has a dangling out-edge
+    (``dense_out`` row ``None``) — the per-vertex path must run so the
+    send raises identically.
+    """
+    senders = []
+    degs = array("d")
+    buckets: Dict[int, list] = {}
+    order: List[int] = []
+    sent = 0
+    remote = 0
+    k = 0
+    for i in range(lo, hi):
+        nbrs = dense_out[i]
+        if nbrs is None:
+            return None
+        if not nbrs:
+            continue
+        senders.append(i - lo)
+        degs.append(float(len(nbrs)))
+        for dst in nbrs:
+            bucket = buckets.get(dst)
+            if bucket is None:
+                buckets[dst] = [k]
+                order.append(dst)
+            else:
+                bucket.append(k)
+        sent += len(nbrs)
+        remote += remote_out[i]
+        k += 1
+    lane = _ScatterLane()
+    lane.n = k
+    lane.degs = degs
+    lane.np_degs = (
+        _np.frombuffer(memoryview(degs), dtype=_np.float64)  # pragma: no cover
+        if _np is not None and k
+        else None
+    )
+    if not k:
+        lane.value_getter = None
+    elif senders[-1] - senders[0] + 1 == k:
+        lane.value_getter = operator.itemgetter(
+            slice(senders[0], senders[-1] + 1)
+        )
+    else:
+        lane.value_getter = operator.itemgetter(*senders)
+    s_dst = array("q")
+    s_pos: List[int] = []
+    grouped: Dict[int, list] = {}
+    m_dst = array("q")
+    m_get = []
+    m_cnt = array("q")
+    for dst in order:
+        positions = buckets[dst]
+        count = len(positions)
+        if count == 1:
+            s_dst.append(dst)
+            s_pos.append(positions[0])
+        elif count <= _GROUP_MAX:
+            grouped.setdefault(count, []).append((dst, positions))
+        else:
+            m_dst.append(dst)
+            m_get.append(operator.itemgetter(*positions))
+            m_cnt.append(count)
+    lane.order = array("q", order)
+    lane.s_dst = s_dst
+    if s_pos:
+        lane.s_get = _column_getter(s_pos)
+    else:
+        lane.s_get = None
+    groups = []
+    for count in sorted(grouped):
+        members = grouped[count]
+        dsts = array("q", [dst for dst, _ in members])
+        getters = tuple(
+            _column_getter([positions[j] for _, positions in members])
+            for j in range(count)
+        )
+        groups.append((count, dsts, getters))
+    lane.groups = tuple(groups)
+    lane.m_dst = m_dst
+    lane.m_get = tuple(m_get)
+    lane.m_cnt = m_cnt
+    lane.sent = sent
+    lane.remote = remote
+    return lane
+
+
+def _group_fold(combine, getters, shares):
+    """Fold one contributor-column group pairwise, column by column.
+
+    Column ``j`` holds every grouped destination's ``j``-th message,
+    so chaining ``map(combine, carry, column_j)`` left to right
+    performs, for each destination, exactly the per-vertex path's
+    ``acc = combine(acc, msg)`` sequence in arrival order — batched
+    across the whole group at C level.  Module-level for the same
+    reason as :func:`_segment_folder`: the oracle-differential tests
+    swap in a deliberately re-associated version and prove the
+    harness catches it.
+    """
+    columns = iter(getters)
+    carry = next(columns)(shares)
+    for getter in columns:
+        carry = map(combine, carry, getter(shares))
+    return carry
+
+
+def _scatter_combined(lane, shares, acc, cnt, combine):
+    """Write one lane's shares into a combining accumulator lane.
+
+    Equivalent to the per-vertex ``enqueue_fast_combining`` sequence:
+    each destination's messages folded pairwise in arrival order
+    (never seeded with a literal zero, which would flip ``-0.0``),
+    counts set to the contribution count.  Single-contributor
+    destinations skip the fold entirely via one flat C-level
+    ``itemgetter`` call; grouped destinations fold column-wise
+    (:func:`_group_fold`); the fat leftovers fold per destination
+    (:func:`_segment_folder`).
+    """
+    if lane.s_dst:
+        _drain(map(_SETITEM, repeat(acc), lane.s_dst, lane.s_get(shares)))
+        _drain(map(_SETITEM, repeat(cnt), lane.s_dst, repeat(1)))
+    for count, dsts, getters in lane.groups:
+        _drain(
+            map(
+                _SETITEM,
+                repeat(acc),
+                dsts,
+                _group_fold(combine, getters, shares),
+            )
+        )
+        _drain(map(_SETITEM, repeat(cnt), dsts, repeat(count)))
+    if lane.m_dst:
+        fold = _segment_folder(combine)
+        apply_shares = _CALL_WITH("__call__", shares)
+        _drain(
+            map(
+                _SETITEM,
+                repeat(acc),
+                lane.m_dst,
+                map(fold, map(apply_shares, lane.m_get)),
+            )
+        )
+        _drain(map(_SETITEM, repeat(cnt), lane.m_dst, lane.m_cnt))
+
+
+def _scatter_lists(lane, shares, acc):
+    """Write one lane's shares into a plain (non-combining) accumulator
+    lane as *fresh* per-destination buckets in arrival order — delivery
+    adopts the first occupied lane's bucket object, so lanes must never
+    share list instances."""
+    if lane.s_dst:
+        # ``zip(column)`` wraps each value in a 1-tuple at C level, so
+        # ``map(list, ...)`` materializes the fresh single-item buckets
+        # without a per-value Python frame.
+        _drain(
+            map(
+                _SETITEM,
+                repeat(acc),
+                lane.s_dst,
+                map(list, zip(lane.s_get(shares))),
+            )
+        )
+    for _count, dsts, getters in lane.groups:
+        columns = [getter(shares) for getter in getters]
+        _drain(
+            map(_SETITEM, repeat(acc), dsts, map(list, zip(*columns)))
+        )
+    if lane.m_dst:
+        apply_shares = _CALL_WITH("__call__", shares)
+        _drain(
+            map(
+                _SETITEM,
+                repeat(acc),
+                lane.m_dst,
+                map(list, map(apply_shares, lane.m_get)),
+            )
+        )
+
+
+def _link_commit_order(lanes):
+    """Precompute each lane's ``novel`` column: the destinations it is
+    the *first* lane to touch, in first-touch order.
+
+    When a kernel scatters through every lane in worker-index order
+    (the only way the serial kernels run), extending ``out_dirty``
+    with the lanes' ``novel`` columns reproduces exactly the
+    stamp-dedup that ``flush_worker_sends`` performs over
+    ``acc_touched`` — but the dedup is paid once at compile time
+    instead of every superstep."""
+    seen = set()
+    for lane in lanes:
+        novel = [dst for dst in lane.order if dst not in seen]
+        seen.update(novel)
+        lane.novel = array("q", novel)
+
+
+def fast_compute_pass(engine, wake_all: bool) -> int:
+    """The dense fast path's dispatching kernel.
+
+    Tries the registered vectorized kernel for the engine's program
+    (exact class match, no fault injector, not explicitly disabled,
+    topology compiled cleanly, and the kernel's ``applies`` proof holds
+    for *this* superstep); otherwise falls back to
+    :func:`dense_compute_pass`.  Records the tier actually used on the
+    engine and its workers for trace observability.
+    """
+    kernel = _select_kernel(engine)
+    if kernel is not None:
+        phase = kernel.applies(engine, engine._ctx.superstep, wake_all)
+        if phase is not None:
+            _set_tier(engine, kernel.tier)
+            return kernel.run(engine, phase)
+    _set_tier(engine, "dense")
+    return dense_compute_pass(engine, wake_all)
+
+
+def _select_kernel(engine):
+    if engine._use_vectorized is False or engine._injector is not None:
+        return None
+    factory = _VECTOR_KERNELS.get(type(engine._program))
+    if factory is None:
+        return None
+    dense = engine._fabric.dense
+    cache = engine._vector_kernel_cache
+    if cache is not None and cache[0] is dense:
+        return cache[1]
+    kernel = factory(engine, engine._program)
+    engine._vector_kernel_cache = (dense, kernel)
+    return kernel
+
+
+def _set_tier(engine, tier: str) -> None:
+    engine._kernel_tier = tier
+    for worker in engine._fabric.workers:
+        worker.kernel_tier = tier
+
+
+# -- PageRank ---------------------------------------------------------------
+
+
+def _pagerank_phase(program, fabric, superstep, wake_all):
+    """Which vectorized PageRank phase covers this superstep, if any.
+
+    The program's ``compute`` has exactly three shapes, keyed on the
+    superstep number: seed (rank ``1/n`` + scatter at superstep 0),
+    steady (gather + aggregate + scatter), final (gather + aggregate +
+    halt at ``num_supersteps``).  Anything off-script — a wake-all
+    re-activation mid-run, a pre-halted vertex, supersteps past the
+    program's horizon (possible after ``master_compute`` re-activates)
+    — declines so the per-vertex loop reproduces it.
+    """
+    num = program.num_supersteps
+    if superstep > num:
+        return None
+    states = fabric.dense_states
+    if not states:
+        return None
+    if superstep == 0:
+        if not wake_all or fabric.in_dirty:
+            return None
+    elif wake_all:
+        return None
+    if any(map(_HALTED, states)):
+        return None
+    return "seed" if superstep == 0 else ("final" if superstep == num else "steady")
+
+
+class _PageRankVectorKernel:
+    """Whole-partition PageRank pass over the slot mailboxes.
+
+    Gather is ``sum(slot, 0.0)`` — the same left fold, seeded the same
+    way, as the reference's ``total = 0.0; for m in messages: total +=
+    m``.  The new rank is ``base + d * total`` with ``base`` computed
+    by the reference's own expression ``(1.0 - damping) / n``, and
+    shares divide by the int out-degree exactly converted to float —
+    every float op bit-identical to the per-vertex loop.
+    """
+
+    tier = "vectorized"
+    __slots__ = ("_lanes",)
+
+    def __init__(self, lanes):
+        self._lanes = lanes
+
+    def applies(self, engine, superstep, wake_all):
+        return _pagerank_phase(engine._program, engine._fabric, superstep, wake_all)
+
+    def run(self, engine, phase):
+        program = engine._program
+        fabric = engine._fabric
+        tracker = engine._tracker
+        dense_states = fabric.dense_states
+        in_slots = fabric.in_slots
+        accs = fabric.accs
+        cnts = fabric.cnts
+        combine = fabric.combine if cnts is not None else None
+        n = len(dense_states)
+        d = program.damping
+        seed = phase == "seed"
+        final = phase == "final"
+        if seed:
+            inv_n = 1.0 / n
+        else:
+            base = (1.0 - d) / n
+            agg = engine._agg_current
+            aggregator = engine._aggregators["l1_change"]
+            sum_agg = type(aggregator) is SumAggregator
+        fabric.stamp += 1
+        active = 0
+        lanes = self._lanes
+        for worker in fabric.workers:
+            seg_start = time.perf_counter()
+            lo = worker.range_start
+            hi = worker.range_stop
+            seg_states = dense_states[lo:hi]
+            n_seg = hi - lo
+            if seed:
+                total_msgs = 0
+                new_vals = [inv_n] * n_seg
+            else:
+                seg_slots = fabric.slot_view(lo, hi)
+                total_msgs = sum(map(len, filter(None, seg_slots)))
+                totals = [
+                    sum(slot, 0.0) if slot else 0.0 for slot in seg_slots
+                ]
+                new_vals = _affine(totals, d, base)
+                # L1 deltas fold in visit order, before assignment —
+                # the reference aggregates against the *old* value.
+                diffs = map(abs, map(_SUB, new_vals, map(_VALUE, seg_states)))
+                if sum_agg:
+                    agg["l1_change"] = sum(diffs, agg["l1_change"])
+                else:
+                    agg["l1_change"] = reduce(
+                        aggregator.reduce, diffs, agg["l1_change"]
+                    )
+            _drain(map(setattr, seg_states, repeat("value"), new_vals))
+            lane = lanes[worker.index]
+            if final:
+                _drain(
+                    map(setattr, seg_states, repeat("halted"), repeat(True))
+                )
+                lane_sent = 0
+            else:
+                lane_sent = lane.sent
+                if lane.n:
+                    shares = _elementwise_div(
+                        lane.value_getter(new_vals), lane.degs, lane.np_degs
+                    )
+                    if combine is not None:
+                        _scatter_combined(
+                            lane, shares, accs[worker.index],
+                            cnts[worker.index], combine,
+                        )
+                    else:
+                        _scatter_lists(lane, shares, accs[worker.index])
+                    fabric.out_dirty.extend(lane.novel)
+                worker.sent_logical += lane_sent
+                worker.sent_remote += lane.remote
+                fabric.out_pending += lane_sent
+            active += n_seg
+            worker.work += float(n_seg + total_msgs + lane_sent)
+            if tracker is not None:
+                state_size = program.state_size
+                record = tracker.record_vertex
+                if seed:
+                    for state in seg_states:
+                        sent = len(state.out_edges)
+                        record(state.id, sent, 0, 1 + sent + 0.0, state_size(state))
+                elif final:
+                    for state, slot in zip(seg_states, seg_slots):
+                        ln = len(slot) if slot else 0
+                        record(state.id, 0, ln, 1 + ln + 0.0, state_size(state))
+                else:
+                    for state, slot in zip(seg_states, seg_slots):
+                        ln = len(slot) if slot else 0
+                        sent = len(state.out_edges)
+                        record(
+                            state.id, sent, ln,
+                            1 + ln + sent + 0.0, state_size(state),
+                        )
+            worker.wall_seconds = time.perf_counter() - seg_start
+        for idx in fabric.in_dirty:
+            in_slots[idx] = None
+        fabric.in_dirty = []
+        return active
+
+
+def make_pagerank_kernel(engine, program):
+    """Compile the serial PageRank kernel: one scatter lane per worker."""
+    fabric = engine._fabric
+    if not fabric.dense_states:
+        return None
+    lanes = []
+    for worker in fabric.workers:
+        lane = _compile_scatter_lane(
+            worker.range_start, worker.range_stop,
+            fabric.dense_out, fabric.remote_out,
+        )
+        if lane is None:
+            return None
+        lanes.append(lane)
+    _link_commit_order(lanes)
+    return _PageRankVectorKernel(lanes)
+
+
+def pagerank_rank_allow(engine, superstep, wake_all):
+    """Coordinator-side ``applies`` for the pool-rank PageRank kernel."""
+    return _pagerank_phase(engine._program, engine._fabric, superstep, wake_all) is not None
+
+
+class _RankPageRankKernel:
+    """The PageRank pass re-rooted at a pool rank's partition slice.
+
+    Same float sequence as the serial kernel; aggregate deltas are
+    appended to ``part.agg_log`` per vertex (not folded) so the
+    coordinator replays the identical reduce sequence, and the
+    response contract matches :func:`rank_compute_pass` exactly
+    (``executed`` covers the full slice, one tracker row per vertex).
+    """
+
+    __slots__ = ("_lane",)
+
+    def __init__(self, lane):
+        self._lane = lane
+
+    def run(self, part, superstep, msgs_of):
+        program = part.program
+        states = part.states
+        n_part = len(states)
+        start = part.range_start
+        n = part.num_vertices
+        d = program.damping
+        lane = self._lane
+        if superstep == 0:
+            seg_slots = None
+            total_msgs = 0
+            new_vals = [1.0 / n] * n_part
+        else:
+            seg_slots = [None] * n_part
+            for idx, msgs in msgs_of.items():
+                seg_slots[idx - start] = msgs
+            total_msgs = sum(map(len, filter(None, seg_slots)))
+            base = (1.0 - d) / n
+            totals = [
+                sum(slot, 0.0) if slot else 0.0 for slot in seg_slots
+            ]
+            new_vals = _affine(totals, d, base)
+            part.agg_log.extend(
+                zip(
+                    repeat("l1_change"),
+                    map(abs, map(_SUB, new_vals, map(_VALUE, states))),
+                )
+            )
+        _drain(map(setattr, states, repeat("value"), new_vals))
+        final = superstep == program.num_supersteps
+        if final:
+            _drain(map(setattr, states, repeat("halted"), repeat(True)))
+            lane_sent = 0
+        else:
+            lane_sent = lane.sent
+            if lane.n:
+                shares = _elementwise_div(
+                    lane.value_getter(new_vals), lane.degs, lane.np_degs
+                )
+                if part.cnt is not None:
+                    _scatter_combined(
+                        lane, shares, part.acc, part.cnt, part._combine
+                    )
+                else:
+                    _scatter_lists(lane, shares, part.acc)
+                part.acc_touched.extend(lane.order)
+            part.sent_logical += lane_sent
+            part.sent_remote += lane.remote
+            part.out_pending += lane_sent
+        work = float(n_part + total_msgs + lane_sent)
+        tracker_rows = None
+        if part.track_bppa:
+            tracker_rows = []
+            state_size = program.state_size
+            row = tracker_rows.append
+            if superstep == 0:
+                for state in states:
+                    sent = len(state.out_edges)
+                    row((state.id, sent, 0, 1 + sent + 0.0, state_size(state)))
+            elif final:
+                for state, slot in zip(states, seg_slots):
+                    ln = len(slot) if slot else 0
+                    row((state.id, 0, ln, 1 + ln + 0.0, state_size(state)))
+            else:
+                for state, slot in zip(states, seg_slots):
+                    ln = len(slot) if slot else 0
+                    sent = len(state.out_edges)
+                    row(
+                        (state.id, sent, ln, 1 + ln + sent + 0.0,
+                         state_size(state))
+                    )
+        part.progress += n_part
+        executed = list(range(start, start + n_part))
+        return n_part, work, executed, tracker_rows
+
+
+def make_pagerank_rank_kernel(part):
+    """Compile the pool-rank PageRank kernel for one partition slice."""
+    if not part.states:
+        return None
+    lane = _compile_scatter_lane(
+        0, len(part.states), part.dense_out, part.remote_out
+    )
+    if lane is None:
+        return None
+    return _RankPageRankKernel(lane)
+
+
+# -- Min-propagation (hashmin / WCC) ----------------------------------------
+
+
+def _steady_min_applies(fabric, superstep, wake_all):
+    """Shared ``applies`` test for the min-propagation steady state:
+    past superstep 0, no wake-all, and *every* vertex halted — then the
+    per-vertex loop would visit exactly the vertices holding messages,
+    which is the in-dirty list."""
+    if superstep == 0 or wake_all:
+        return None
+    states = fabric.dense_states
+    if not states or not all(map(_HALTED, states)):
+        return None
+    return "steady"
+
+
+def _plain_numeric_ids(fabric):
+    """True when every vertex id is a plain (non-bool) int or float.
+
+    The min-label programs' labels are always drawn from the vertex-id
+    set, and ``repr_key`` orders plain numerics by value alone, so
+    under this proof ``min(messages)`` and ``a < b`` reproduce the
+    keyed comparisons exactly — ties, NaNs and mixed int/float
+    included, because the key tuples' leading elements are then always
+    equal and every tuple comparison reduces to the same underlying
+    value comparison the plain operators perform."""
+    return all(type(i) in (int, float) for i in fabric.dense.id_of)
+
+
+class _HashMinVectorKernel:
+    """Steady-state hashmin pass: visit the sorted in-dirty list, take
+    the min message under the program's total order, and fan improved
+    labels out through the fabric's own send path (whose dense branch
+    uses the precompiled adjacency and whose generic branch raises on
+    dangling targets exactly as the per-vertex loop would).
+
+    Superstep 0 (candidate gathering over ``vertex.neighbors()``) stays
+    on the per-vertex loop; halt flags stay ``True`` throughout because
+    the reference's wake -> compute -> ``vote_to_halt`` round-trips
+    every visited vertex back to halted.
+    """
+
+    tier = "vectorized"
+    __slots__ = ("_key",)
+
+    def __init__(self, key):
+        self._key = key
+
+    def applies(self, engine, superstep, wake_all):
+        return _steady_min_applies(engine._fabric, superstep, wake_all)
+
+    def run(self, engine, phase):
+        program = engine._program
+        fabric = engine._fabric
+        tracker = engine._tracker
+        key = self._key
+        state_size = program.state_size
+        dense_states = fabric.dense_states
+        in_slots = fabric.in_slots
+        accs = fabric.accs
+        cnts = fabric.cnts
+        fanout = fabric.fanout
+        fabric.stamp += 1
+        visit = sorted(fabric.in_dirty)
+        n_visit = len(visit)
+        active = 0
+        i = 0
+        for worker in fabric.workers:
+            seg_start = time.perf_counter()
+            stop = worker.range_stop
+            fabric.cur_worker = worker
+            fabric.cur_src = worker.index
+            fabric.acc = accs[worker.index]
+            if cnts is not None:
+                fabric.cnt = cnts[worker.index]
+            work = worker.work
+            while i < n_visit:
+                idx = visit[i]
+                if idx >= stop:
+                    break
+                i += 1
+                messages = in_slots[idx]
+                if not messages:
+                    continue
+                state = dense_states[idx]
+                ln = len(messages)
+                if key is None:
+                    incoming = min(messages)
+                    improved = incoming < state.value
+                else:
+                    incoming = min(messages, key=key)
+                    improved = key(incoming) < key(state.value)
+                if improved:
+                    state.value = incoming
+                    fabric.cur_idx = idx
+                    sent = fanout(state.id, state.out_edges, incoming)
+                else:
+                    sent = 0
+                active += 1
+                ops = 1 + ln + sent + (0.0 + ln)
+                work += ops
+                if tracker is not None:
+                    tracker.record_vertex(
+                        state.id, sent, ln, ops, state_size(state)
+                    )
+            worker.work = work
+            if fabric.acc_touched:
+                fabric.flush_worker_sends()
+            worker.wall_seconds = time.perf_counter() - seg_start
+        for idx in fabric.in_dirty:
+            in_slots[idx] = None
+        fabric.in_dirty = []
+        return active
+
+
+def make_hashmin_kernel(engine, program, key):
+    """Compile the hashmin steady-state kernel (``key`` is the
+    program's total order over labels, dropped under the plain-numeric
+    proof).
+
+    Out-edge targets are precompiled to dense indices so the steady
+    loop scatters inline; when any target is unmappable (dangling
+    edge) the fanout-based kernel runs instead, so the generic send
+    path raises there exactly as the per-vertex loop would.
+    """
+    fabric = engine._fabric
+    states = fabric.dense_states
+    if not states:
+        return None
+    if _plain_numeric_ids(fabric):
+        key = None
+    idx_get = fabric.dense.idx_of.get
+    owner_of = fabric.dense.owner_of
+    peer_idx = []
+    peer_remote = []
+    for i, state in enumerate(states):
+        src = owner_of[i]
+        row = []
+        remote = 0
+        for peer in state.out_edges:
+            j = idx_get(peer)
+            if j is None:
+                return _HashMinVectorKernel(key)
+            row.append(j)
+            if owner_of[j] != src:
+                remote += 1
+        peer_idx.append(row)
+        peer_remote.append(remote)
+    return _MinPropagationVectorKernel(
+        key, peer_idx, peer_remote, charge_peers=False
+    )
+
+
+class _MinPropagationVectorKernel:
+    """Steady-state min-label pass (WCC and hashmin) with the
+    per-vertex peer lists precompiled to dense indices and remote
+    counts, so the steady loop never rebuilds a set or hashes an id.
+    The inline scatter mirrors the fabric's generic fanout branch
+    (first-touch append, pairwise combining in arrival order).
+
+    ``charge_peers`` reproduces WCC's cost model, which charges the
+    peer-set size on every visit; hashmin's compute term is message
+    count only.
+    """
+
+    tier = "vectorized"
+    __slots__ = ("_key", "_peer_idx", "_peer_remote", "_charge_peers")
+
+    def __init__(self, key, peer_idx, peer_remote, charge_peers):
+        self._key = key
+        self._peer_idx = peer_idx
+        self._peer_remote = peer_remote
+        self._charge_peers = charge_peers
+
+    def applies(self, engine, superstep, wake_all):
+        return _steady_min_applies(engine._fabric, superstep, wake_all)
+
+    def run(self, engine, phase):
+        program = engine._program
+        fabric = engine._fabric
+        tracker = engine._tracker
+        key = self._key
+        peer_idx = self._peer_idx
+        peer_remote = self._peer_remote
+        charge_peers = self._charge_peers
+        state_size = program.state_size
+        dense_states = fabric.dense_states
+        in_slots = fabric.in_slots
+        accs = fabric.accs
+        cnts = fabric.cnts
+        combine = fabric.combine
+        fabric.stamp += 1
+        visit = sorted(fabric.in_dirty)
+        n_visit = len(visit)
+        active = 0
+        i = 0
+        for worker in fabric.workers:
+            seg_start = time.perf_counter()
+            stop = worker.range_stop
+            fabric.cur_worker = worker
+            fabric.cur_src = worker.index
+            acc = accs[worker.index]
+            cnt = cnts[worker.index] if cnts is not None else None
+            touched = fabric.acc_touched
+            work = worker.work
+            sent_total = 0
+            remote_total = 0
+            while i < n_visit:
+                idx = visit[i]
+                if idx >= stop:
+                    break
+                i += 1
+                messages = in_slots[idx]
+                if not messages:
+                    continue
+                state = dense_states[idx]
+                ln = len(messages)
+                peers = peer_idx[idx]
+                n_peers = len(peers)
+                if key is None:
+                    incoming = min(messages)
+                    improved = incoming < state.value
+                else:
+                    incoming = min(messages, key=key)
+                    improved = key(incoming) < key(state.value)
+                if improved:
+                    state.value = incoming
+                    if cnt is not None:
+                        for dst in peers:
+                            c = cnt[dst]
+                            if c:
+                                acc[dst] = combine(acc[dst], incoming)
+                                cnt[dst] = c + 1
+                            else:
+                                acc[dst] = incoming
+                                cnt[dst] = 1
+                                touched.append(dst)
+                    else:
+                        for dst in peers:
+                            bucket = acc[dst]
+                            if bucket is None:
+                                acc[dst] = [incoming]
+                                touched.append(dst)
+                            else:
+                                bucket.append(incoming)
+                    sent = n_peers
+                    sent_total += n_peers
+                    remote_total += peer_remote[idx]
+                else:
+                    sent = 0
+                active += 1
+                if charge_peers:
+                    ops = 1 + ln + sent + (0.0 + n_peers + ln)
+                else:
+                    ops = 1 + ln + sent + (0.0 + ln)
+                work += ops
+                if tracker is not None:
+                    tracker.record_vertex(
+                        state.id, sent, ln, ops, state_size(state)
+                    )
+            worker.work = work
+            worker.sent_logical += sent_total
+            worker.sent_remote += remote_total
+            fabric.out_pending += sent_total
+            if fabric.acc_touched:
+                fabric.flush_worker_sends()
+            worker.wall_seconds = time.perf_counter() - seg_start
+        for idx in fabric.in_dirty:
+            in_slots[idx] = None
+        fabric.in_dirty = []
+        return active
+
+
+def make_wcc_kernel(engine, program, key, peers_of):
+    """Compile the WCC steady-state kernel.
+
+    ``peers_of(state)`` must be the program's own peer-set expression,
+    evaluated here once per vertex; peers are mapped to dense indices
+    (bailing out to the per-vertex loop if any target is unknown, so
+    the send raises identically there).
+    """
+    fabric = engine._fabric
+    states = fabric.dense_states
+    if not states:
+        return None
+    idx_get = fabric.dense.idx_of.get
+    owner_of = fabric.dense.owner_of
+    peer_idx = []
+    peer_remote = []
+    for i, state in enumerate(states):
+        src = owner_of[i]
+        row = []
+        remote = 0
+        for peer in peers_of(state):
+            j = idx_get(peer)
+            if j is None:
+                return None
+            row.append(j)
+            if owner_of[j] != src:
+                remote += 1
+        peer_idx.append(row)
+        peer_remote.append(remote)
+    if _plain_numeric_ids(fabric):
+        key = None
+    return _MinPropagationVectorKernel(
+        key, peer_idx, peer_remote, charge_peers=True
+    )
+
+
+# -- Degree centrality ------------------------------------------------------
+
+
+class _DegreeVectorKernel:
+    """Degree-style workload: a seed superstep scattering a constant
+    ``1.0`` along the precompiled lanes, then pure gather supersteps
+    (``value += sum(slot, 0.0)``) over the in-dirty list with every
+    vertex staying halted."""
+
+    tier = "vectorized"
+    __slots__ = ("_lanes", "_ones")
+
+    def __init__(self, lanes):
+        self._lanes = lanes
+        self._ones = [[1.0] * lane.n for lane in lanes]
+
+    def applies(self, engine, superstep, wake_all):
+        fabric = engine._fabric
+        states = fabric.dense_states
+        if not states:
+            return None
+        if superstep == 0:
+            if not wake_all or fabric.in_dirty:
+                return None
+            if any(map(_HALTED, states)):
+                return None
+            return "seed"
+        if wake_all or not all(map(_HALTED, states)):
+            return None
+        return "gather"
+
+    def run(self, engine, phase):
+        program = engine._program
+        fabric = engine._fabric
+        tracker = engine._tracker
+        state_size = program.state_size
+        dense_states = fabric.dense_states
+        in_slots = fabric.in_slots
+        accs = fabric.accs
+        cnts = fabric.cnts
+        combine = fabric.combine if cnts is not None else None
+        fabric.stamp += 1
+        active = 0
+        if phase == "seed":
+            lanes = self._lanes
+            for worker in fabric.workers:
+                seg_start = time.perf_counter()
+                lo = worker.range_start
+                hi = worker.range_stop
+                seg_states = dense_states[lo:hi]
+                for state in seg_states:
+                    state.value = 0.0
+                    state.halted = True
+                lane = lanes[worker.index]
+                if lane.n:
+                    ones = self._ones[worker.index]
+                    if combine is not None:
+                        _scatter_combined(
+                            lane, ones, accs[worker.index],
+                            cnts[worker.index], combine,
+                        )
+                    else:
+                        _scatter_lists(lane, ones, accs[worker.index])
+                    fabric.out_dirty.extend(lane.novel)
+                worker.sent_logical += lane.sent
+                worker.sent_remote += lane.remote
+                fabric.out_pending += lane.sent
+                n_seg = hi - lo
+                active += n_seg
+                worker.work += float(n_seg + lane.sent)
+                if tracker is not None:
+                    record = tracker.record_vertex
+                    for state in seg_states:
+                        sent = len(state.out_edges)
+                        record(
+                            state.id, sent, 0,
+                            1 + sent + 0.0, state_size(state),
+                        )
+                worker.wall_seconds = time.perf_counter() - seg_start
+        else:
+            visit = sorted(fabric.in_dirty)
+            n_visit = len(visit)
+            i = 0
+            for worker in fabric.workers:
+                seg_start = time.perf_counter()
+                stop = worker.range_stop
+                work = worker.work
+                while i < n_visit:
+                    idx = visit[i]
+                    if idx >= stop:
+                        break
+                    i += 1
+                    messages = in_slots[idx]
+                    if not messages:
+                        continue
+                    state = dense_states[idx]
+                    ln = len(messages)
+                    state.value = state.value + sum(messages, 0.0)
+                    active += 1
+                    ops = 1 + ln + 0.0
+                    work += ops
+                    if tracker is not None:
+                        tracker.record_vertex(
+                            state.id, 0, ln, ops, state_size(state)
+                        )
+                worker.work = work
+                worker.wall_seconds = time.perf_counter() - seg_start
+        for idx in fabric.in_dirty:
+            in_slots[idx] = None
+        fabric.in_dirty = []
+        return active
+
+
+def make_degree_kernel(engine, program):
+    """Compile the degree-centrality kernel: one scatter lane per
+    worker for the constant-message seed superstep."""
+    fabric = engine._fabric
+    if not fabric.dense_states:
+        return None
+    lanes = []
+    for worker in fabric.workers:
+        lane = _compile_scatter_lane(
+            worker.range_start, worker.range_stop,
+            fabric.dense_out, fabric.remote_out,
+        )
+        if lane is None:
+            return None
+        lanes.append(lane)
+    _link_commit_order(lanes)
+    return _DegreeVectorKernel(lanes)

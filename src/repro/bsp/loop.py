@@ -289,6 +289,7 @@ def emit_superstep_commit(
                 wall_seconds=w.wall_seconds,
                 barrier_seconds=w.barrier_seconds,
                 payload_bytes=w.payload_bytes,
+                kernel_tier=w.kernel_tier,
             )
         )
     trace.emit(

@@ -152,7 +152,11 @@ from repro.bsp import shm_transport
 from repro.bsp.context import ComputeContext
 from repro.bsp.combiner import SumCombiner
 from repro.bsp.engine import PregelEngine, PregelResult
-from repro.bsp.kernels import rank_compute_pass
+from repro.bsp.kernels import (
+    rank_compute_pass,
+    rank_kernel_factory,
+    rank_vector_allow,
+)
 from repro.bsp.vertex import VertexState
 from repro.errors import MessageToUnknownVertexError
 from repro.graph.graph import Graph
@@ -251,6 +255,13 @@ class _PartitionRuntime:
         #: proves the rank is making progress, not merely alive.
         self.progress = 0
         self._cur_off = 0
+        #: Lazily compiled vectorized kernel for this slice: ``None``
+        #: until the first allowed superstep, ``False`` when the
+        #: program has no rank kernel or compilation bailed.  Survives
+        #: reload()s — the plan depends only on topology, which is
+        #: frozen while the pool is alive; program parameters are read
+        #: live on every pass.
+        self._vector_kernel = None
         if self.combiner is not None:
             # Same SumCombiner specialization as the serial engine.
             if type(self.combiner) is SumCombiner:
@@ -427,13 +438,18 @@ class _PartitionRuntime:
         agg_prev: Dict[str, Any],
         inbound: List[Tuple[int, List[Any]]],
         program_state: Optional[Dict[str, Any]],
+        allow_vector: bool = False,
     ) -> Dict[str, Any]:
         """Run my slice of one compute pass; return the effect set.
 
         The vertex loop itself lives with the other kernels
         (:func:`repro.bsp.kernels.rank_compute_pass`) — same visit
         order, wake/halt transitions, work accounting, and tracker
-        feed as the serial dense pass.
+        feed as the serial dense pass.  When the coordinator granted
+        ``allow_vector`` (it evaluated the kernel's applicability
+        against the authoritative fabric state), the slice runs
+        through the program's vectorized rank kernel instead — byte-
+        identical by construction, reported via ``kernel_tier``.
         """
         if program_state is not None:
             # master_compute mutated the program since the last ship.
@@ -442,9 +458,25 @@ class _PartitionRuntime:
         msgs_of = dict(inbound)
         ctx = self.ctx
         ctx._begin_superstep(superstep, agg_prev)
-        active, work, executed, tracker_rows = rank_compute_pass(
-            self, wake_all, msgs_of
-        )
+        kernel = None
+        if allow_vector:
+            kernel = self._vector_kernel
+            if kernel is None:
+                factory = rank_kernel_factory(type(self.program))
+                kernel = (
+                    factory(self) if factory is not None else None
+                ) or False
+                self._vector_kernel = kernel
+        if kernel:
+            kernel_tier = "vectorized"
+            active, work, executed, tracker_rows = kernel.run(
+                self, superstep, msgs_of
+            )
+        else:
+            kernel_tier = "dense"
+            active, work, executed, tracker_rows = rank_compute_pass(
+                self, wake_all, msgs_of
+            )
         start = self.range_start
         # Detach the touched accumulator slots for shipping.
         touched = self.acc_touched
@@ -484,6 +516,7 @@ class _PartitionRuntime:
             "tracker": tracker_rows,
             "mutations": ctx._take_mutations(),
             "drew": drew,
+            "kernel_tier": kernel_tier,
         }
         self.agg_log = []
         self.sent_logical = 0
@@ -582,9 +615,10 @@ def _worker_main(
                         )
                     _send(("ready", rank))
                 elif cmd == "step":
-                    superstep, wake_all, agg_prev, inbound, state = (
-                        msg[1:]
-                    )
+                    (
+                        superstep, wake_all, agg_prev,
+                        inbound, state, allow_vector,
+                    ) = msg[1:]
                     if seg is not None and type(inbound) is tuple:
                         inbound = shm_transport.decode_inbound(
                             seg, rank, inbound
@@ -594,7 +628,7 @@ def _worker_main(
                     try:
                         resp = part.step(
                             superstep, wake_all, agg_prev,
-                            inbound, state,
+                            inbound, state, allow_vector,
                         )
                     finally:
                         stepping.clear()
@@ -1219,6 +1253,9 @@ class ParallelPregelEngine(PregelEngine):
         inbound = fabric.rank_inbound(len(links))
         superstep = self._ctx.superstep
         agg_prev = self._agg_finalized
+        # Kernel-tier grant, decided here against the authoritative
+        # fabric state so every rank takes the same path.
+        allow_vector = rank_vector_allow(self, superstep, wake_all)
         down_bytes: List[int] = [0] * len(links)
         down_columnar = True
         for link in links:
@@ -1241,6 +1278,7 @@ class ParallelPregelEngine(PregelEngine):
                         agg_prev,
                         batch,
                         ship_state,
+                        allow_vector,
                     ),
                 )
             except (EOFError, OSError, BrokenPipeError) as exc:
@@ -1384,6 +1422,7 @@ class ParallelPregelEngine(PregelEngine):
         max_seconds = max(pl["seconds"] for pl in payloads)
         active_count = 0
         total_pending = 0
+        tiers = set()
         for rank, pl in enumerate(payloads):
             worker = workers[rank]
             worker.work = pl["work"]
@@ -1392,6 +1431,8 @@ class ParallelPregelEngine(PregelEngine):
             worker.wall_seconds = pl["seconds"]
             worker.barrier_seconds = max_seconds - pl["seconds"]
             worker.payload_bytes = pl.get("payload_bytes", 0)
+            worker.kernel_tier = tier = pl.get("kernel_tier", "dense")
+            tiers.add(tier)
             active_count += pl["active"]
             total_pending += pl["pending"]
             for idx, value in pl["values"]:
@@ -1437,6 +1478,9 @@ class ParallelPregelEngine(PregelEngine):
             in_slots[idx] = None
         fabric.in_dirty = []
         self.parallel_supersteps += 1
+        self._kernel_tier = (
+            "mixed" if len(tiers) > 1 else next(iter(tiers), "dense")
+        )
         return active_count
 
 

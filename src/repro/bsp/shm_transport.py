@@ -447,6 +447,7 @@ def encode_reply(
         "sent_remote": resp["sent_remote"],
         "pending": resp["pending"],
         "drew": resp["drew"],
+        "kernel_tier": resp["kernel_tier"],
         "n_exec": len(values),
     }
 
@@ -656,6 +657,7 @@ def decode_reply(
         "tracker": tracker,
         "mutations": spill.get("mutations"),
         "drew": header["drew"],
+        "kernel_tier": header.get("kernel_tier", "dense"),
         "seconds": header["seconds"],
         "shm_bytes": header["shm_bytes"],
     }

@@ -33,6 +33,7 @@ class Worker:
         "wall_seconds",
         "barrier_seconds",
         "payload_bytes",
+        "kernel_tier",
     )
 
     def __init__(self, index: int):
@@ -62,6 +63,11 @@ class Worker:
         # in-process backends.  A measurement like the wall columns,
         # outside the byte-identity contract.
         self.payload_bytes = 0
+        # Which compute kernel executed this worker's share of the
+        # superstep ("reference" / "dense" / "vectorized").  Trace
+        # observability only — like the wall columns, never part of
+        # the byte-identity contract.
+        self.kernel_tier = "reference"
 
     def reset_counters(self) -> None:
         """Zero the per-superstep profile."""
@@ -74,6 +80,7 @@ class Worker:
         self.wall_seconds = 0.0
         self.barrier_seconds = 0.0
         self.payload_bytes = 0
+        self.kernel_tier = "reference"
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (

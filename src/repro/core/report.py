@@ -131,16 +131,39 @@ def _payload_bytes_per_superstep(
     return payload
 
 
+def _kernel_tiers_per_superstep(events: Sequence[TraceEvent]) -> dict:
+    """Per-superstep compute-kernel tiers of the stream's last run,
+    with the same last-execution-wins semantics as the payload table:
+    a new run resets the whole table, a re-executed superstep resets
+    its own row.  Each entry is the set of tiers the workers of that
+    superstep reported ("reference", "dense", "vectorized")."""
+    tiers: dict = {}
+    for e in events:
+        if (
+            isinstance(e, SuperstepStart)
+            and e.superstep == 0
+            and e.execution == 1
+        ):
+            tiers = {}
+        elif isinstance(e, WorkerProfile):
+            if e.worker == 0:
+                tiers[e.superstep] = set()
+            tiers.setdefault(e.superstep, set()).add(e.kernel_tier)
+    return tiers
+
+
 def format_trace_report(events: Sequence[TraceEvent]) -> str:
     """Render a captured trace stream as a human-readable report.
 
-    Five sections: the event census, the per-superstep cost
+    Six sections: the event census, the per-superstep cost
     attribution (which term of ``max(w, g*h, L)`` was binding), the
     per-worker straggler profile reconstructed from the committed
     worker profiles, the per-superstep boundary bytes (only when some
     superstep actually crossed a process boundary — i.e. the parallel
-    backend ran), and — when the run was faulted — the injected
-    faults, rollbacks and path handoffs.
+    backend ran), the per-superstep compute-kernel tiers (only when
+    some superstep left the reference kernel — i.e. the dense fast
+    path or the vectorized tier ran), and — when the run was faulted
+    — the injected faults, rollbacks and path handoffs.
 
     A trace may span several runs (``repro-table1 --trace`` captures
     every row's sweeps into one recorder); the attribution and
@@ -182,6 +205,25 @@ def format_trace_report(events: Sequence[TraceEvent]) -> str:
             )
         parts.append(
             f"  {'total':>9}  {sum(payload.values()):>13}"
+        )
+        parts.append("")
+
+    tiers = _kernel_tiers_per_superstep(events)
+    if any(t - {"reference"} for t in tiers.values()):
+        parts.append("== kernel tiers (last run) ==")
+        parts.append(f"  {'superstep':>9}  tier")
+        for superstep in sorted(tiers):
+            label = "/".join(sorted(tiers[superstep])) or "reference"
+            parts.append(f"  {superstep:>9}  {label}")
+        census_t = Counter(
+            "/".join(sorted(t)) or "reference" for t in tiers.values()
+        )
+        parts.append(
+            "  "
+            + "  ".join(
+                f"{label}={count}"
+                for label, count in sorted(census_t.items())
+            )
         )
         parts.append("")
 

@@ -41,12 +41,20 @@ class SuperstepWall:
     rides shared memory and is deliberately excluded — the column
     measures serialization pressure).  ``None`` on in-process
     backends, where nothing crosses a boundary.
+
+    ``kernel_tier`` names the compute kernel that executed the
+    superstep (``"reference"``, ``"dense"``, ``"vectorized"``, or
+    ``"mixed"`` when parallel ranks disagreed).  Observability like
+    the wall columns — the tiers are byte-identical by construction,
+    so the tier used is never part of the determinism contract
+    (``None`` on engines predating the tier report).
     """
 
     superstep: int
     compute_seconds: List[float]
     barrier_seconds: List[float]
     payload_bytes: Optional[List[int]] = None
+    kernel_tier: Optional[str] = None
 
     @property
     def elapsed(self) -> float:

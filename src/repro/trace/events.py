@@ -112,10 +112,15 @@ class WorkerProfile(TraceEvent):
     #: the wall columns — a transport measurement, not a modeled
     #: quantity.
     payload_bytes: int = 0
+    #: Which compute kernel executed this worker's share of the
+    #: superstep ("reference" / "dense" / "vectorized"); informational
+    #: — the tiers are byte-identical, so which one ran is never part
+    #: of the reconciliation surface.
+    kernel_tier: str = "reference"
 
     kind: ClassVar[str] = "worker_profile"
     informational: ClassVar[FrozenSet[str]] = frozenset(
-        {"wall_seconds", "barrier_seconds", "payload_bytes"}
+        {"wall_seconds", "barrier_seconds", "payload_bytes", "kernel_tier"}
     )
 
 

@@ -1,10 +1,12 @@
-"""Differential fuzzing across the four execution paths.
+"""Differential fuzzing across the five execution paths.
 
 For a deterministic matrix of seeded random graphs x workloads x
-worker counts x fault plans, every case runs four times — on the
-reference dict path, the dense fast path, and the process-parallel
-backend on each of its two transports (shared-memory columnar and
-pickle) — and all four runs must be **byte-identical**: same values
+worker counts x fault plans, every case runs five times — on the
+reference dict path, the dense fast path (vectorization pinned off),
+the dense fast path with the vectorized kernel tier engaged, and the
+process-parallel backend on each of its two transports (shared-memory
+columnar and pickle) — and all five runs must be **byte-identical**:
+same values
 (compared per entry through pickle, so identity sharing inside one
 backend cannot mask or fake a difference), same ``RunStats`` ledgers,
 same BPPA observation, same aggregate history.
@@ -54,9 +56,20 @@ FAULT_MODES = [
     ("msg-drop", lambda: drop_plan(rate=0.25, seed=9)),
 ]
 
+#: "fast" pins ``use_vectorized=False`` so the per-vertex dense pass
+#: stays covered on every recipe; "fast+vectorized" requires the
+#: kernel tier for programs that register one (and runs auto-engage
+#: for the rest, proving the silent fallback is harmless).
 #: "parallel" pins the pickle transport explicitly (the fallback
 #: tier); "parallel-shm" is the shared-memory columnar transport.
-BACKENDS = ["reference", "fast", "parallel", "parallel-shm"]
+BACKENDS = [
+    "reference", "fast", "fast+vectorized", "parallel", "parallel-shm",
+]
+
+#: Workloads whose program class registers a vectorized kernel —
+#: their clean fast+vectorized runs must actually leave the dense
+#: tier (``sssp``'s sparse frontier and ``bfs-tree`` register none).
+VECTORIZED_WORKLOADS = {"pagerank", "wcc", "hashmin"}
 
 
 def _case_recipe(wl_name: str, workers: int, fault_name: str) -> dict:
@@ -88,7 +101,14 @@ def _run_case(graph, make_program, natural, recipe, backend, workers,
     elif backend == "fast":
         engine = create_engine(
             graph, make_program(), backend="serial",
-            use_fast_path=True, **kwargs,
+            use_fast_path=True, use_vectorized=False, **kwargs,
+        )
+    elif backend == "fast+vectorized":
+        program = make_program()
+        engine = create_engine(
+            graph, program, backend="serial", use_fast_path=True,
+            use_vectorized=True if program.vectorizable() else None,
+            **kwargs,
         )
     else:
         transport = (
@@ -173,6 +193,28 @@ def test_differential_fuzz(
     # The ledgers must balance on every path, not just match.
     for backend, result in results.items():
         assert result.stats.ledger_balanced(), f"{backend}; {repro}"
+    # Kernel-tier honesty: the pinned-off fast path must never leave
+    # the dense pass, while the vectorized path must actually use the
+    # array kernels on clean runs of registered programs — and must
+    # stay per-vertex under a fault injector (the exactness proofs do
+    # not cover replayed supersteps).
+    fast_tiers = {
+        w.kernel_tier for w in results["fast"].stats.wall
+    }
+    assert "vectorized" not in fast_tiers, f"fast; {repro}"
+    vec_tiers = {
+        w.kernel_tier
+        for w in results["fast+vectorized"].stats.wall
+    }
+    if make_plan is not None:
+        assert "vectorized" not in vec_tiers, (
+            f"fast+vectorized ran array kernels under a fault plan; "
+            f"{repro}"
+        )
+    elif wl_name in VECTORIZED_WORKLOADS:
+        assert "vectorized" in vec_tiers, (
+            f"fast+vectorized never left the dense tier; {repro}"
+        )
     # The canonical workloads never mutate topology or draw RNG, so
     # the pool must have run every superstep (the parallel runs must
     # not silently degrade to serial and pass the comparison that

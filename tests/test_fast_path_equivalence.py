@@ -109,6 +109,16 @@ def test_fast_path_is_byte_identical(
     # crash rollbacks, which restore onto the checkpoint's path.
     assert fast_engine.fast_path is True
     assert ref_engine.fast_path is False
+    # Tier honesty in the wall profile: the reference run never
+    # leaves the reference kernel, and the fast run's supersteps all
+    # report a fast-path tier (dense, or vectorized where a program's
+    # registered kernel auto-engaged on a clean run).
+    assert {w.kernel_tier for w in ref.stats.wall} == {"reference"}
+    fast_tiers = {w.kernel_tier for w in fast.stats.wall}
+    assert fast_tiers <= {"dense", "vectorized"}, fast_tiers
+    if make_plan is not None:
+        # Fault-injected runs stay per-vertex throughout.
+        assert fast_tiers == {"dense"}
 
 
 # ---------------------------------------------------------------------

@@ -37,7 +37,11 @@ ENGINE_PY = (
 #: The composition root's size budget.  The pre-refactor monolith was
 #: 1,605 lines; the loop/fabric/state/kernel layers now carry the
 #: mechanism, and the engine must stay a thin composition of them.
-ENGINE_LINE_BUDGET = 800
+#: Raised from 800 when the vectorized kernel tier landed: the kernel
+#: machinery itself lives in kernels.py, but the engine gained the
+#: ``use_vectorized`` parameter (validation + a long docstring entry)
+#: and per-superstep tier bookkeeping.
+ENGINE_LINE_BUDGET = 850
 
 
 def test_engine_module_stays_thin():

@@ -75,6 +75,7 @@ CONSTRUCTORS = {
     "BrandesBetweenness": lambda cls: cls([0]),
     "ColoringSCC": lambda cls: cls(),
     "CoordinatorKiller": lambda cls: cls(num_supersteps=5),
+    "DegreeCentrality": lambda cls: cls(),
     "EccentricityFlood": lambda cls: cls(),
     "EulerTour": lambda cls: cls(),
     "HashMinComponents": lambda cls: cls(),
