@@ -56,24 +56,15 @@ def _string_id_graph():
 
 
 def _partition_digest() -> str:
-    """Digest of every partitioner's full assignment map."""
-    from repro.graph import (
-        BfsGrowPartitioner,
-        GreedyEdgeBalancedPartitioner,
-        HashPartitioner,
-        RangePartitioner,
-    )
+    """Digest of every partitioner family's full assignment map —
+    the topology-blind originals and the cut-minimizing suite
+    (multilevel / label-propagation / hub-split) alike."""
+    from repro.graph import PARTITIONER_FAMILIES
 
     graph = _string_id_graph()
-    partitioners = {
-        "hash": HashPartitioner(4),
-        "range": RangePartitioner(graph, 4),
-        "greedy": GreedyEdgeBalancedPartitioner(graph, 4),
-        "bfs-grow": BfsGrowPartitioner(graph, 4),
-    }
     assignments = {
-        name: sorted((v, p(v)) for v in graph.vertices())
-        for name, p in partitioners.items()
+        name: sorted((v, make(graph, 4)(v)) for v in graph.vertices())
+        for name, make in PARTITIONER_FAMILIES.items()
     }
     return hashlib.sha256(pickle.dumps(assignments)).hexdigest()
 
