@@ -255,6 +255,7 @@ def run_kernel_bench(scale: float, repeats: int, seed: int = 1) -> dict:
             "supersteps": vec.num_supersteps,
             "kernel_tiers": tiers,
             "vectorized_supersteps": tiers.count("vectorized"),
+            "peak_rss_bytes": vec.stats.peak_rss_bytes,
             "identical": True,
         }
         print(
@@ -422,6 +423,7 @@ def run_parallel_bench(
                     ],
                     "payload_bytes_total": sum(per_step),
                     "payload_bytes_per_superstep": per_step,
+                    "peak_rss_bytes": par.stats.peak_rss_bytes,
                     "identical": True,
                 }
                 print(
@@ -476,6 +478,7 @@ def run_bench(scale: float, repeats: int, seed: int = 1) -> dict:
             "supersteps": ref.num_supersteps,
             "logical_messages": ref.stats.total_messages,
             "network_messages": ref.stats.total_network_messages,
+            "peak_rss_bytes": fast.stats.peak_rss_bytes,
             "identical": True,
         }
         print(

@@ -1,0 +1,441 @@
+"""Out-of-core harness: the Table-1 workloads on a graph 10x the
+wall-clock bench scale, inside an address-space budget the in-memory
+path cannot satisfy.
+
+Each measured cell runs in its **own subprocess** that applies
+``resource.setrlimit(RLIMIT_AS, cap)`` before importing anything
+graph-sized, so one cell's cap (or death) cannot leak into another.
+Per workload the harness runs a snapshot-backed serial cell — the
+graph opened read-only from its memory-mapped
+:class:`~repro.graph.snapshot.CsrSnapshot`, mailboxes bounded by a
+``memory_budget`` with the overflow spilled to disk — plus one
+snapshot-backed *parallel* cell (ranks open the snapshot by path and
+mmap their own shard; the rlimit is inherited, so every rank obeys
+the same cap) and one pinned **in-memory control cell** that builds
+the live dict-of-dicts ``Graph`` under the identical cap.  At full
+scale the control must die with ``MemoryError`` (status
+``exceeds_budget``): that asymmetry — same machine, same cap, same
+workload; snapshot path completes, in-memory path cannot — is the
+acceptance result, and ``--require-oom`` makes the harness exit
+non-zero if the control unexpectedly fits.
+
+Byte-identity is not sampled at bench scale; it is asserted directly
+at small scale (the ``identity`` section): in-memory serial,
+snapshot-backed serial (with a 1-byte budget, so every lane spills),
+and snapshot-backed parallel runs are fingerprint-compared per
+workload before any capped cell runs.
+
+Every cell records ``peak_rss_bytes`` (the child's own
+``RunStats.peak_rss_bytes``) and the fabric's ``spilled_lanes`` /
+``spilled_bytes`` counters, so the committed report shows both that
+the spill tier engaged and what the memory story actually was.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_outofcore.py \
+        --require-oom --out BENCH_outofcore.json
+
+CI runs a quarter-scale smoke (``--scale 0.25``) without
+``--require-oom``: at small scale everything fits in RAM, so the
+control cell's status is recorded but not asserted — the OOM pin is
+a property of the committed full-scale report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import resource
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+#: Full-scale vertex count: 10x the wall-clock bench
+#: (``bench_engine.BASE_N`` = 12,500), same family, degree, and seed
+#: so the two reports describe the same graph distribution.
+OOC_BASE_N = 125_000
+K = 8
+
+#: Address-space cap applied to every measured cell, linear in
+#: ``--scale``: a fixed interpreter allowance plus a graph-sized
+#: component.  At full scale this is 448 MiB — measured between the
+#: snapshot path's peak (~390 MiB of address space: vertex state and
+#: bounded mailboxes, with the adjacency left to the OS page cache)
+#: and the in-memory path's (~490 MiB: all of that *plus* the live
+#: dict-of-dicts graph).
+CAP_FIXED_BYTES = 192 * 2**20
+CAP_SCALED_BYTES = 256 * 2**20
+
+#: Mailbox budget for the budgeted cells.  Deliberately below one
+#: superstep's combined message volume at every supported scale, so
+#: the committed report always shows the spill tier engaging
+#: (nonzero ``spilled_lanes``/``spilled_bytes``).
+MEMORY_BUDGET_BYTES = 128 * 1024
+
+#: Small-scale graph for the byte-identity section.
+IDENTITY_N = 2_000
+
+WORKLOAD_NAMES = ["pagerank", "sssp", "wcc", "hashmin"]
+
+
+def _workloads():
+    """Late import: the in-memory control cell must set its rlimit
+    before anything graph-sized is importable."""
+    from repro.algorithms.cc_hashmin import HashMinComponents
+    from repro.algorithms.pagerank import PageRank
+    from repro.algorithms.sssp import SingleSourceShortestPaths
+    from repro.algorithms.wcc import WeaklyConnectedComponents
+    from repro.bsp import MinCombiner, SumCombiner
+
+    return {
+        "pagerank": (lambda: PageRank(num_supersteps=10), SumCombiner),
+        "sssp": (lambda: SingleSourceShortestPaths(0), MinCombiner),
+        "wcc": (lambda: WeaklyConnectedComponents(), MinCombiner),
+        "hashmin": (lambda: HashMinComponents(), MinCombiner),
+    }
+
+
+def ooc_cap_bytes(scale: float) -> int:
+    return int(CAP_FIXED_BYTES + CAP_SCALED_BYTES * scale)
+
+
+def _fingerprint(result) -> bytes:
+    return pickle.dumps(
+        (
+            sorted(result.values.items()),
+            result.stats,
+            result.aggregate_history,
+        )
+    )
+
+
+# ---------------------------------------------------------------- #
+# Child side: one measured cell per process.                        #
+# ---------------------------------------------------------------- #
+
+
+def _cell_engine(spec, graph):
+    from repro.bsp import create_engine
+
+    make_program, combiner_cls = _workloads()[spec["workload"]]
+    kwargs = dict(
+        num_workers=spec["num_workers"],
+        combiner=combiner_cls(),
+        track_bppa=False,
+        use_fast_path=True,
+        memory_budget=spec.get("memory_budget"),
+        spill_dir=spec.get("spill_dir"),
+    )
+    if kwargs["memory_budget"] is None:
+        del kwargs["memory_budget"], kwargs["spill_dir"]
+    backend = "parallel" if spec["kind"] == "snapshot-parallel" else "serial"
+    return create_engine(graph, make_program(), backend=backend, **kwargs)
+
+
+def run_cell(spec: dict) -> dict:
+    """Execute one capped cell; returns the result record.  Runs with
+    the rlimit already applied and nothing heavyweight imported."""
+    cap = spec["cap_bytes"]
+    resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+    out = {"kind": spec["kind"], "cap_bytes": cap, "status": "ok"}
+    try:
+        if spec["kind"] == "inmemory-control":
+            from repro.graph import barabasi_albert_graph
+
+            graph = barabasi_albert_graph(
+                spec["n"], K, seed=spec["seed"]
+            )
+        else:
+            from repro.graph.snapshot import CsrSnapshot
+
+            graph = CsrSnapshot.open(spec["snapshot_path"])
+        best = float("inf")
+        result = engine = None
+        for _ in range(spec["repeats"]):
+            eng = _cell_engine(spec, graph)
+            start = time.perf_counter()
+            res = eng.run()
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best, result, engine = elapsed, res, eng
+        out.update(
+            seconds=round(best, 4),
+            supersteps=result.num_supersteps,
+            peak_rss_bytes=result.stats.peak_rss_bytes,
+            spilled_lanes=engine._fabric.spilled_lanes,
+            spilled_bytes=engine._fabric.spilled_bytes,
+        )
+        if spec["kind"] == "snapshot-parallel":
+            out["parallel_supersteps"] = engine.parallel_supersteps
+            out["parallel_disabled_reason"] = (
+                engine.parallel_disabled_reason
+            )
+    except MemoryError:
+        out["status"] = "exceeds_budget"
+        out["peak_rss_bytes"] = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        )
+    return out
+
+
+# ---------------------------------------------------------------- #
+# Parent side.                                                      #
+# ---------------------------------------------------------------- #
+
+
+def _spawn_cell(spec: dict) -> dict:
+    """Run one cell in a fresh capped subprocess.  The child prints
+    its record as the last stdout line."""
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--run-cell",
+         json.dumps(spec)],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        # A hard death (e.g. the allocator aborting under the cap
+        # before MemoryError could be raised) still counts as
+        # exceeding the budget — record it honestly.
+        return {
+            "kind": spec["kind"],
+            "cap_bytes": spec["cap_bytes"],
+            "status": "exceeds_budget",
+            "exit_code": proc.returncode,
+            "stderr_tail": proc.stderr.strip().splitlines()[-1:],
+        }
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _check_identity(seed: int) -> dict:
+    """Small-scale byte-identity: in-memory serial vs snapshot-backed
+    serial (1-byte budget: every lane spills) vs snapshot-backed
+    parallel, per workload."""
+    from repro.bsp import create_engine
+    from repro.graph import barabasi_albert_graph
+    from repro.graph.snapshot import CsrSnapshot
+
+    graph = barabasi_albert_graph(IDENTITY_N, K, seed=seed)
+    tmp = tempfile.mkdtemp(prefix="ooc-identity-")
+    section = {"n": graph.num_vertices, "workloads": {}}
+    try:
+        snap_dir = os.path.join(tmp, "snap")
+        CsrSnapshot.from_graph(graph).save(snap_dir)
+        snap = CsrSnapshot.open(snap_dir)
+        for name, (make_program, combiner_cls) in _workloads().items():
+            runs = {}
+            for label, source, backend, kwargs in [
+                ("inmemory", graph, "serial", {}),
+                (
+                    "snapshot+spill",
+                    snap,
+                    "serial",
+                    {"memory_budget": 1},
+                ),
+                ("snapshot-parallel", snap, "parallel", {}),
+            ]:
+                engine = create_engine(
+                    source,
+                    make_program(),
+                    backend=backend,
+                    num_workers=2,
+                    combiner=combiner_cls(),
+                    track_bppa=False,
+                    use_fast_path=True,
+                    **kwargs,
+                )
+                runs[label] = _fingerprint(engine.run())
+            base = runs.pop("inmemory")
+            for label, fp in runs.items():
+                if fp != base:
+                    raise AssertionError(
+                        f"{name}: {label} diverged from the "
+                        "in-memory path"
+                    )
+            section["workloads"][name] = "identical"
+            print(f"identity {name:>10}: all paths identical")
+        snap.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return section
+
+
+def run_bench(scale: float, repeats: int, seed: int) -> dict:
+    from repro.graph import barabasi_albert_graph
+    from repro.graph.snapshot import CsrSnapshot
+
+    n = max(K + 1, int(OOC_BASE_N * scale))
+    cap = ooc_cap_bytes(scale)
+    report = {
+        "scale": scale,
+        "n": n,
+        "k": K,
+        "seed": seed,
+        "repeats": repeats,
+        "cap_bytes": cap,
+        "cap_mib": round(cap / 2**20, 1),
+        "memory_budget_bytes": MEMORY_BUDGET_BYTES,
+        "host_cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "identity": _check_identity(seed),
+        "workloads": {},
+    }
+
+    tmp = tempfile.mkdtemp(prefix="ooc-bench-")
+    snap_dir = os.path.join(tmp, "snap")
+    try:
+        # The snapshot is built once, uncapped: building is the
+        # bulk-load step the out-of-core design moves *out* of the
+        # measured runs.
+        start = time.perf_counter()
+        snap = CsrSnapshot.from_graph(
+            barabasi_albert_graph(n, K, seed=seed)
+        )
+        report["edges"] = snap.num_edges
+        snap.save(snap_dir)
+        report["snapshot_build_seconds"] = round(
+            time.perf_counter() - start, 2
+        )
+        report["snapshot_bytes"] = os.path.getsize(
+            os.path.join(snap_dir, "snapshot.bin")
+        )
+        del snap
+
+        base_spec = {
+            "snapshot_path": snap_dir,
+            "cap_bytes": cap,
+            "n": n,
+            "seed": seed,
+            "repeats": repeats,
+            "memory_budget": MEMORY_BUDGET_BYTES,
+            "spill_dir": os.path.join(tmp, "spill"),
+        }
+        for name in WORKLOAD_NAMES:
+            cell = _spawn_cell(
+                dict(
+                    base_spec,
+                    kind="snapshot-serial",
+                    workload=name,
+                    num_workers=4,
+                )
+            )
+            report["workloads"][name] = {"snapshot-serial": cell}
+            _print_cell(name, cell)
+
+        cell = _spawn_cell(
+            dict(
+                base_spec,
+                kind="snapshot-parallel",
+                workload="pagerank",
+                num_workers=2,
+            )
+        )
+        report["workloads"]["pagerank"]["snapshot-parallel"] = cell
+        _print_cell("pagerank", cell)
+
+        control = _spawn_cell(
+            {
+                "kind": "inmemory-control",
+                "workload": "pagerank",
+                "cap_bytes": cap,
+                "n": n,
+                "seed": seed,
+                "repeats": 1,
+                "num_workers": 4,
+            }
+        )
+        report["workloads"]["pagerank"]["inmemory-control"] = control
+        _print_cell("pagerank", control)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return report
+
+
+def _print_cell(name: str, cell: dict) -> None:
+    peak = cell.get("peak_rss_bytes")
+    peak_mib = f"{peak / 2**20:7.1f}MiB" if peak else "      ?"
+    if cell["status"] == "ok":
+        print(
+            f"{name:>10} {cell['kind']:>17}: {cell['seconds']:8.2f}s  "
+            f"peak {peak_mib}  spilled {cell['spilled_lanes']} lanes "
+            f"/ {cell['spilled_bytes']}B  (cap "
+            f"{cell['cap_bytes'] / 2**20:.0f}MiB)"
+        )
+    else:
+        print(
+            f"{name:>10} {cell['kind']:>17}: {cell['status']}  "
+            f"peak {peak_mib}  (cap {cell['cap_bytes'] / 2**20:.0f}MiB)"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="graph-size multiplier on the full-scale n=%d "
+        "(the address-space cap scales with it)" % OOC_BASE_N,
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repeats per cell (best-of)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="graph-generation seed (default 1, the committed bench)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--require-oom",
+        action="store_true",
+        help="exit non-zero unless the in-memory control cell "
+        "exceeded the budget AND every snapshot cell completed — "
+        "the committed full-scale acceptance gate",
+    )
+    parser.add_argument(
+        "--run-cell",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: JSON cell spec
+    )
+    args = parser.parse_args(argv)
+
+    if args.run_cell is not None:
+        print(json.dumps(run_cell(json.loads(args.run_cell))))
+        return 0
+
+    report = run_bench(args.scale, args.repeats, args.seed)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.require_oom:
+        control = report["workloads"]["pagerank"]["inmemory-control"]
+        if control["status"] != "exceeds_budget":
+            print(
+                "FAIL: the in-memory control cell completed under "
+                f"the {report['cap_mib']}MiB cap — the budget does "
+                "not demonstrate the out-of-core win"
+            )
+            return 1
+        for name, cells in report["workloads"].items():
+            for kind, cell in cells.items():
+                if kind != "inmemory-control" and cell["status"] != "ok":
+                    print(f"FAIL: {name}/{kind} did not complete: {cell}")
+                    return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

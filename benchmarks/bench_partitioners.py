@@ -108,6 +108,7 @@ def _stats_cell(stats) -> dict:
     summary = attribution_summary(attribute_costs(stats))
     return {
         "supersteps": stats.num_supersteps,
+        "peak_rss_bytes": stats.peak_rss_bytes,
         "total_messages": stats.total_messages,
         "network_messages": stats.total_network_messages,
         "remote_messages": stats.total_remote_messages,

@@ -106,6 +106,7 @@ def run_bench(scale: float, repeats: int, seed: int = 1) -> dict:
         "enabled_seconds": round(enabled_s, 4),
         "enabled_overhead": round(enabled_s / disabled_s - 1.0, 4),
         "events_recorded": recorder.emitted,
+        "peak_rss_bytes": enabled.stats.peak_rss_bytes,
         "identical": True,
     }
     print(

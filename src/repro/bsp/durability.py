@@ -570,6 +570,7 @@ def _rebuild_stats(stats):
         ],
     )
     clean.wall = None
+    clean.peak_rss_bytes = None
     return clean
 
 

@@ -101,7 +101,12 @@ from repro.graph.graph import Graph
 from repro.graph.partition import HashPartitioner
 from repro.metrics.bppa import BppaObservation, BppaTracker
 from repro.metrics.cost_model import BSPCostModel
-from repro.metrics.stats import RunStats, SuperstepStats, SuperstepWall
+from repro.metrics.stats import (
+    RunStats,
+    SuperstepStats,
+    SuperstepWall,
+    peak_rss_bytes,
+)
 from repro.trace.events import CheckpointWrite, Handoff
 from repro.trace.recorder import TraceRecorder, get_default_trace
 
@@ -202,6 +207,18 @@ class PregelEngine:
         recorded in ``SuperstepWall.kernel_tier`` and the workers'
         trace profiles).  Not part of the checkpoint fingerprint:
         the tiers are byte-identical, so resume across them is legal.
+    memory_budget:
+        Soft cap, in encoded bytes, on one superstep's buffered
+        message volume on the dense fast path.  When set, finished
+        accumulator lanes are byte-accounted in the shm-transport
+        column encoding and lanes past the budget spill to disk,
+        replayed in worker order at delivery — results stay
+        byte-identical to an unbudgeted run.  ``None`` (default)
+        disables the spill tier entirely.
+    spill_dir:
+        Directory for spill files (created if missing).  ``None``
+        (default) uses a private temp directory, removed when the
+        run finishes.
     trace:
         A :class:`~repro.trace.recorder.TraceRecorder` to receive the
         run's structured events (superstep lifecycle, per-worker
@@ -236,8 +253,15 @@ class PregelEngine:
         resume=False,
         use_fast_path: Optional[bool] = None,
         use_vectorized: Optional[bool] = None,
+        memory_budget: Optional[int] = None,
+        spill_dir: Optional[str] = None,
         trace: Optional[TraceRecorder] = None,
     ):
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be >= 1 byte, got "
+                f"{memory_budget!r}"
+            )
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValueError(
                 f"checkpoint_interval must be >= 1, got "
@@ -275,7 +299,13 @@ class PregelEngine:
 
         # Superstep-scoped structures.  The fabric owns every mailbox;
         # the engine keeps the aggregator registry and master state.
-        self._fabric = MessageFabric(self, self._store, combiner)
+        self._fabric = MessageFabric(
+            self,
+            self._store,
+            combiner,
+            memory_budget=memory_budget,
+            spill_dir=spill_dir,
+        )
         self._ctx = ComputeContext(self)
         self._aggregators = dict(getattr(program, "aggregators", dict)())
         self._agg_current: Dict[str, Any] = {}
@@ -506,8 +536,12 @@ class PregelEngine:
         self._run_stats = stats
         tracker = self._tracker
 
-        self._loop.run(self, stats, start_superstep=start_superstep)
+        try:
+            self._loop.run(self, stats, start_superstep=start_superstep)
+        finally:
+            self._fabric.cleanup_spill()
 
+        stats.peak_rss_bytes = peak_rss_bytes()
         if tracker is not None:
             tracker.observation.num_supersteps = stats.num_supersteps
         return PregelResult(
@@ -617,6 +651,7 @@ class PregelEngine:
                 barrier_seconds=[w.barrier_seconds for w in ws],
                 payload_bytes=[w.payload_bytes for w in ws],
                 kernel_tier=self._kernel_tier,
+                peak_rss_bytes=peak_rss_bytes(),
             )
         )
         if trace is not None:

@@ -54,13 +54,23 @@ non-None).
 from __future__ import annotations
 
 import operator
+import os
+import pickle
+import shutil
+import tempfile
+from array import array
 from collections import defaultdict
 from typing import Any, Dict, Hashable, List, Optional
 
 from repro.bsp.combiner import SumCombiner
 from repro.bsp.faults import DeliveryFaults
-from repro.errors import MessageToUnknownVertexError
+from repro.bsp.shm_transport import encode_lane
+from repro.errors import (
+    MessageToUnknownVertexError,
+    VertexNotFoundError,
+)
 from repro.graph.partition import build_dense_index
+from repro.graph.snapshot import is_graph_snapshot
 from repro.trace.events import FaultInjected
 
 
@@ -77,10 +87,32 @@ class MessageFabric:
     checkpoint restore swaps the underlying dicts.
     """
 
-    def __init__(self, engine, store, combiner):
+    def __init__(
+        self,
+        engine,
+        store,
+        combiner,
+        memory_budget: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+    ):
         self._engine = engine
         self._store = store
         self._combiner = combiner
+        #: Soft cap, in encoded bytes, on one superstep's buffered
+        #: message volume across the slot-mailbox accumulator lanes.
+        #: ``None`` (the default) disables the spill tier entirely —
+        #: no accounting, no encoding, byte-for-byte the historical
+        #: behavior.
+        self.memory_budget = memory_budget
+        self._spill_dir = spill_dir
+        self._spill_tmp: Optional[str] = None
+        self._spilled: Dict[int, str] = {}
+        self._spill_seq = 0
+        self._resident_bytes = 0
+        #: Observability counters (never part of RunStats: a budgeted
+        #: run must stay byte-identical to an unbudgeted one).
+        self.spilled_lanes = 0
+        self.spilled_bytes = 0
         # Hot-path mirrors of the store's partition (see class doc).
         self.states = store.states
         self.owner = store.owner
@@ -311,14 +343,163 @@ class MessageFabric:
         which is also global send order, so ``out_dirty`` gets the
         reference outbox's first-touch key order.
         """
+        touched = self.acc_touched
         seen = self.slot_seen
         stamp = self.stamp
         dirty = self.out_dirty
-        for dst in self.acc_touched:
+        for dst in touched:
             if seen[dst] != stamp:
                 seen[dst] = stamp
                 dirty.append(dst)
         self.acc_touched = []
+        if self.memory_budget is not None and touched:
+            # The bound accumulator identifies the finishing worker
+            # (workers run sequentially; acc is rebound per worker).
+            acc = self.acc
+            for widx, lane in enumerate(self.accs):
+                if lane is acc:
+                    self.account_lane(widx, touched)
+                    break
+
+    # ------------------------------------------------------------------
+    # Spill tier: byte-accounted lane eviction under a memory budget
+    # ------------------------------------------------------------------
+    #
+    # When ``memory_budget`` is set, every finished accumulator lane is
+    # encoded with the shm-transport column codecs and charged against
+    # the budget; lanes that would push the superstep's buffered volume
+    # past it are written to disk and their slots cleared.  Delivery
+    # reloads spilled lanes — in worker-index order, the order the
+    # delivery scan reads them — before the normal slot scan, so the
+    # spill is invisible to everything downstream: ``out_dirty`` was
+    # recorded at flush time and the reloaded values round-trip exactly
+    # (typed columns for conforming floats/ints, pickle otherwise — the
+    # same equality contract the parallel transport already relies on).
+
+    def account_lane(self, worker_index: int, touched) -> None:
+        """Charge one worker's finished lane against the memory
+        budget, spilling it to disk when the budget is exceeded.
+        No-op without a budget or an empty lane."""
+        if self.memory_budget is None or not touched:
+            return
+        acc = self.accs[worker_index]
+        if self.cnts is not None:
+            cnt = self.cnts[worker_index]
+            payloads = [acc[d] for d in touched]
+            counts = array("q", [cnt[d] for d in touched])
+            enc = encode_lane(payloads)
+            if enc is None:
+                record = ("comb-obj", payloads, counts)
+                nbytes = len(
+                    pickle.dumps(payloads, pickle.HIGHEST_PROTOCOL)
+                ) + 8 * len(counts)
+            else:
+                typecode, col = enc
+                record = ("comb-col", typecode, col, counts)
+                nbytes = col.itemsize * len(col) + 8 * len(counts)
+        else:
+            buckets = [acc[d] for d in touched]
+            lens = array("q", [len(b) for b in buckets])
+            flat = [m for b in buckets for m in b]
+            enc = encode_lane(flat)
+            if enc is None:
+                record = ("plain-obj", buckets)
+                nbytes = len(
+                    pickle.dumps(buckets, pickle.HIGHEST_PROTOCOL)
+                )
+            else:
+                typecode, col = enc
+                record = ("plain-col", typecode, col, lens)
+                nbytes = col.itemsize * len(col) + 8 * len(lens)
+        nbytes += 8 * len(touched)
+        if self._resident_bytes + nbytes <= self.memory_budget:
+            self._resident_bytes += nbytes
+            return
+        root = self._spill_root()
+        path = os.path.join(
+            root, f"lane_{self._spill_seq}_{worker_index}.bin"
+        )
+        self._spill_seq += 1
+        with open(path, "wb") as fh:
+            pickle.dump(
+                (array("q", touched), record),
+                fh,
+                pickle.HIGHEST_PROTOCOL,
+            )
+        self._spilled[worker_index] = path
+        self.spilled_lanes += 1
+        self.spilled_bytes += nbytes
+        if self.cnts is not None:
+            for d in touched:
+                acc[d] = None
+                cnt[d] = 0
+        else:
+            for d in touched:
+                acc[d] = None
+
+    def _reload_spilled(self) -> None:
+        """Load every spilled lane back into its accumulator (worker
+        order — the order the delivery scan consumes lanes) and delete
+        the files."""
+        for worker_index in sorted(self._spilled):
+            path = self._spilled[worker_index]
+            with open(path, "rb") as fh:
+                touched, record = pickle.load(fh)
+            os.unlink(path)
+            acc = self.accs[worker_index]
+            kind = record[0]
+            if kind == "comb-col":
+                _, _typecode, col, counts = record
+                cnt = self.cnts[worker_index]
+                for i, d in enumerate(touched):
+                    acc[d] = col[i]
+                    cnt[d] = counts[i]
+            elif kind == "comb-obj":
+                _, payloads, counts = record
+                cnt = self.cnts[worker_index]
+                for i, d in enumerate(touched):
+                    acc[d] = payloads[i]
+                    cnt[d] = counts[i]
+            elif kind == "plain-col":
+                _, _typecode, col, lens = record
+                pos = 0
+                for i, d in enumerate(touched):
+                    end = pos + lens[i]
+                    acc[d] = list(col[pos:end])
+                    pos = end
+            else:  # plain-obj
+                _, buckets = record
+                for i, d in enumerate(touched):
+                    acc[d] = buckets[i]
+        self._spilled = {}
+
+    def _spill_root(self) -> str:
+        if self._spill_dir is not None:
+            path = os.fspath(self._spill_dir)
+            os.makedirs(path, exist_ok=True)
+            return path
+        if self._spill_tmp is None:
+            self._spill_tmp = tempfile.mkdtemp(prefix="repro-spill-")
+        return self._spill_tmp
+
+    def _drop_spill_files(self) -> None:
+        """Discard pending spill files (path resets, rollbacks)."""
+        for path in self._spilled.values():
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._spilled = {}
+        self._resident_bytes = 0
+
+    def cleanup_spill(self) -> None:
+        """Release everything the spill tier put on disk, including
+        the lazily created temp directory.  Called by the engine when
+        a run finishes (success or not)."""
+        self._drop_spill_files()
+        if self._spill_tmp is not None:
+            shutil.rmtree(self._spill_tmp, ignore_errors=True)
+            self._spill_tmp = None
 
     # ------------------------------------------------------------------
     # Execution-path management
@@ -351,8 +532,38 @@ class MessageFabric:
         owner_of = dense.owner_of
         dense_out: List[Optional[List[int]]] = [None] * n
         remote_out = [0] * n
+        # Snapshot-backed graphs compile straight from the CSR arrays:
+        # the row positions are permuted to dense indices with one flat
+        # table instead of hashing every target id.  Row order equals
+        # out_edges insertion order by construction (the state store
+        # built those dicts from out_edge_items), so the compiled
+        # adjacency is identical to the generic walk below.
+        graph = self._engine._graph
+        positions = perm = None
+        if is_graph_snapshot(graph) and graph.num_vertices == n:
+            try:
+                positions = [
+                    graph.position_of(vid) for vid in dense.id_of
+                ]
+            except VertexNotFoundError:  # pragma: no cover - defensive
+                positions = None
+            if positions is not None:
+                perm = [0] * n
+                for idx, p in enumerate(positions):
+                    perm[p] = idx
         for idx, state in enumerate(dense_states):
             src = owner_of[idx]
+            if perm is not None:
+                row = graph.out_row_positions(positions[idx])
+                if len(row) == len(state.out_edges):
+                    nbrs = [perm[q] for q in row]
+                    remote = 0
+                    for j in nbrs:
+                        if owner_of[j] != src:
+                            remote += 1
+                    dense_out[idx] = nbrs
+                    remote_out[idx] = remote
+                    continue
             nbrs: List[int] = []
             remote = 0
             for target in state.out_edges:
@@ -383,6 +594,7 @@ class MessageFabric:
         self.acc_touched = []
         self.slot_seen = [0] * n
         self.stamp = 0
+        self._drop_spill_files()
         self.inbox = defaultdict(list)  # idle while fast
         self.outbox = defaultdict(list)
         engine = self._engine
@@ -450,6 +662,7 @@ class MessageFabric:
         self.cnt = None
         self.acc_touched = []
         self.slot_seen = None
+        self._drop_spill_files()
         self.enqueue = engine._enqueue = self.enqueue_reference
         self.fanout = engine._fanout = self.fanout_reference
         self.fast_active = False
@@ -619,6 +832,8 @@ class MessageFabric:
         states = self.states
         combining = self._combiner is not None
         faults = DeliveryFaults() if injector is not None else None
+        if self._spilled:
+            self._reload_spilled()
         if combining:
             lanes = list(zip(workers, self.accs, self.cnts))
         else:
@@ -694,6 +909,7 @@ class MessageFabric:
             delivered += len(msgs)
         self.out_dirty = []
         self.out_pending = 0
+        self._resident_bytes = 0
         if injector is not None:
             injector.commit(faults, engine._run_stats)
             if engine._trace is not None and faults.any:

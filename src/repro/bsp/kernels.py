@@ -773,6 +773,8 @@ class _PageRankVectorKernel:
                     else:
                         _scatter_lists(lane, shares, accs[worker.index])
                     fabric.out_dirty.extend(lane.novel)
+                    if fabric.memory_budget is not None:
+                        fabric.account_lane(worker.index, lane.order)
                 worker.sent_logical += lane_sent
                 worker.sent_remote += lane.remote
                 fabric.out_pending += lane_sent
@@ -1061,25 +1063,17 @@ def make_hashmin_kernel(engine, program, key):
         return None
     if _plain_numeric_ids(fabric):
         key = None
-    idx_get = fabric.dense.idx_of.get
-    owner_of = fabric.dense.owner_of
-    peer_idx = []
-    peer_remote = []
-    for i, state in enumerate(states):
-        src = owner_of[i]
-        row = []
-        remote = 0
-        for peer in state.out_edges:
-            j = idx_get(peer)
-            if j is None:
-                return _HashMinVectorKernel(key)
-            row.append(j)
-            if owner_of[j] != src:
-                remote += 1
-        peer_idx.append(row)
-        peer_remote.append(remote)
+    # Hashmin propagates along out-edges, which is exactly the dense
+    # adjacency engage_fast_path already compiled (from the CSR columns
+    # directly when the graph is a snapshot) — reuse those rows instead
+    # of re-hashing every target.  A None row (dangling edge) keeps the
+    # fanout-based kernel, whose generic send path raises exactly as
+    # the per-vertex loop would.
+    dense_out = fabric.dense_out
+    if any(row is None for row in dense_out):
+        return _HashMinVectorKernel(key)
     return _MinPropagationVectorKernel(
-        key, peer_idx, peer_remote, charge_peers=False
+        key, dense_out, fabric.remote_out, charge_peers=False
     )
 
 
@@ -1131,8 +1125,12 @@ class _MinPropagationVectorKernel:
             stop = worker.range_stop
             fabric.cur_worker = worker
             fabric.cur_src = worker.index
-            acc = accs[worker.index]
+            # Bind the fabric's lane pointers too: flush_worker_sends
+            # identifies the finishing worker through them when the
+            # spill tier is accounting lanes.
+            fabric.acc = acc = accs[worker.index]
             cnt = cnts[worker.index] if cnts is not None else None
+            fabric.cnt = cnt
             touched = fabric.acc_touched
             work = worker.work
             sent_total = 0
@@ -1303,6 +1301,8 @@ class _DegreeVectorKernel:
                     else:
                         _scatter_lists(lane, ones, accs[worker.index])
                     fabric.out_dirty.extend(lane.novel)
+                    if fabric.memory_budget is not None:
+                        fabric.account_lane(worker.index, lane.order)
                 worker.sent_logical += lane.sent
                 worker.sent_remote += lane.remote
                 fabric.out_pending += lane.sent

@@ -52,7 +52,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.metrics.cost_model import BSPCostModel
-from repro.metrics.stats import RunStats, SuperstepStats
+from repro.metrics.stats import RunStats, SuperstepStats, peak_rss_bytes
 from repro.trace.events import (
     Barrier,
     FaultInjected,
@@ -297,6 +297,7 @@ def emit_superstep_commit(
             superstep=superstep,
             h=entry.h,
             delivered=delivered,
+            peak_rss_bytes=peak_rss_bytes() or 0,
         )
     )
     trace.emit(

@@ -19,7 +19,14 @@ and fault injector, exactly as the serial engine does.  Only the
 * at pool start every worker rank receives its dense partition — the
   ``[range_start, range_stop)`` slice of vertex states, the compiled
   dense adjacency, the shared ``idx_of``/``owner_of`` tables, the
-  program, the combiner, and the run RNG state;
+  program, the combiner, and the run RNG state.  When the run's graph
+  is a file-backed :class:`~repro.graph.snapshot.CsrSnapshot` the
+  pickled topology never crosses the pipe at all: the rank receives
+  the snapshot *path* plus its slice's mutable values, opens the file
+  itself (the mmap'd adjacency pages are shared read-only across
+  ranks) and rederives states, dense index, and compiled adjacency
+  locally (:func:`_expand_snapshot_init`), so coordinator and rank
+  memory stay bounded by the partition, not the graph;
 * each superstep the coordinator ships ``(superstep, wake_all,
   finalized aggregates, this rank's inbound slots, program state if it
   changed)`` to every rank, and each rank runs **the same compute loop
@@ -160,6 +167,8 @@ from repro.bsp.kernels import (
 from repro.bsp.vertex import VertexState
 from repro.errors import MessageToUnknownVertexError
 from repro.graph.graph import Graph
+from repro.graph.partition import owner_for
+from repro.graph.snapshot import CsrSnapshot, is_graph_snapshot
 from repro.bsp.program import VertexProgram
 from repro.trace.events import Handoff
 
@@ -199,6 +208,98 @@ def default_start_method() -> str:
 # ---------------------------------------------------------------------
 
 
+def _expand_snapshot_init(
+    rank: int, init: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Rebuild a standard init payload from a memory-mapped snapshot.
+
+    When the run's graph is a file-backed
+    :class:`~repro.graph.snapshot.CsrSnapshot`, the coordinator ships
+    only the snapshot *path* plus the partitioner and this slice's
+    values/halted flags; each rank opens the file itself (mmap — the
+    adjacency pages are shared read-only across ranks, not copied) and
+    rederives everything the pickle payload would have carried:
+
+    * the dense index, by replaying the coordinator's own two-step
+      construction — bucket ``snapshot.vertices()`` (insertion order)
+      through the shared :func:`~repro.graph.partition.owner_for`
+      rule, then concatenate the buckets exactly as
+      :func:`~repro.graph.partition.build_dense_index` does;
+    * this slice's vertex states, from the snapshot's ``*_edge_items``
+      rows (the same rows ``StateStore`` read, so the dict order is
+      byte-identical);
+    * this slice's compiled adjacency, straight off the CSR columns
+      (``out_row_positions`` mapped through the position→dense-index
+      permutation — the same plan the coordinator's fabric compiled).
+
+    The rederived slice boundary must equal the one the coordinator
+    shipped; any mismatch (e.g. an unstable partitioner) raises, the
+    init fails, and the engine degrades to the byte-identical serial
+    path.
+    """
+    snap = CsrSnapshot.open(init["snapshot_path"])
+    partitioner = init["partitioner"]
+    num_workers: int = init["num_workers"]
+    buckets: List[List[Hashable]] = [[] for _ in range(num_workers)]
+    position: Dict[Hashable, int] = {}
+    for pos, v in enumerate(snap.vertices()):
+        position[v] = pos
+        buckets[owner_for(v, partitioner, num_workers)].append(v)
+    id_of: List[Hashable] = []
+    idx_of: Dict[Hashable, int] = {}
+    owner_of: List[int] = []
+    ranges: List[Tuple[int, int]] = []
+    for widx, bucket in enumerate(buckets):
+        start = len(id_of)
+        for vid in bucket:
+            idx_of[vid] = len(id_of)
+            id_of.append(vid)
+            owner_of.append(widx)
+        ranges.append((start, len(id_of)))
+    if ranges[rank] != tuple(init["range"]):
+        raise ValueError(
+            f"rank {rank}: rederived slice {ranges[rank]} does not "
+            f"match the coordinator's {tuple(init['range'])} — "
+            "unstable partitioner?"
+        )
+    perm = [0] * len(id_of)
+    for idx, vid in enumerate(id_of):
+        perm[position[vid]] = idx
+    start, stop = ranges[rank]
+    directed = snap.directed
+    values = init["values"]
+    halted = init["halted"]
+    snaps = []
+    dense_out: List[Optional[List[int]]] = []
+    remote_out: List[int] = []
+    for off, idx in enumerate(range(start, stop)):
+        vid = id_of[idx]
+        out_edges = dict(snap.out_edge_items(vid))
+        in_edges = (
+            dict(snap.in_edge_items(vid)) if directed else None
+        )
+        snaps.append(
+            (vid, values[off], out_edges, in_edges, halted[off])
+        )
+        nbrs = [
+            perm[q] for q in snap.out_row_positions(position[vid])
+        ]
+        dense_out.append(nbrs)
+        remote_out.append(
+            sum(1 for j in nbrs if owner_of[j] != rank)
+        )
+    expanded = dict(init)
+    expanded.update(
+        num_vertices=len(id_of),
+        idx_of=idx_of,
+        owner_of=owner_of,
+        states=snaps,
+        dense_out=dense_out,
+        remote_out=remote_out,
+    )
+    return expanded
+
+
 class _PartitionRuntime:
     """One rank's resident partition plus the narrow engine contract
     :class:`~repro.bsp.context.ComputeContext` consumes.
@@ -217,6 +318,8 @@ class _PartitionRuntime:
 
     def __init__(self, rank: int, init: Dict[str, Any]):
         self.rank = rank
+        if "snapshot_path" in init:
+            init = _expand_snapshot_init(rank, init)
         self.num_vertices: int = init["num_vertices"]
         self.idx_of: Dict[Hashable, int] = init["idx_of"]
         self.owner_of: List[int] = init["owner_of"]
@@ -865,6 +968,10 @@ class ParallelPregelEngine(PregelEngine):
         self._links: Optional[List[_WorkerLink]] = None
         self._pool_disabled = False
         self._program_blob: Optional[bytes] = None
+        #: Ship init payloads as a snapshot path instead of pickled
+        #: per-vertex state; decided at pool start (file-backed
+        #: snapshot graph + picklable partitioner).
+        self._ship_snapshot = False
         #: Pool restarts performed after rank deaths/stalls.
         self.rank_restarts = 0
         #: One ``(superstep, rank, reason)`` per detected failure.
@@ -947,6 +1054,35 @@ class ParallelPregelEngine(PregelEngine):
         dense = fabric.dense
         start, stop = dense.ranges[rank]
         dense_states = fabric.dense_states
+        if self._ship_snapshot:
+            # Out-of-core shipping: the rank opens the memory-mapped
+            # snapshot itself (_expand_snapshot_init) and rederives
+            # topology, adjacency, and the dense index locally; only
+            # this slice's mutable run state crosses the pipe.
+            return {
+                "snapshot_path": self._graph.path,
+                "partitioner": self._partitioner,
+                "num_workers": self._num_workers,
+                "range": (start, stop),
+                "values": [
+                    dense_states[idx].value
+                    for idx in range(start, stop)
+                ],
+                "halted": [
+                    dense_states[idx].halted
+                    for idx in range(start, stop)
+                ],
+                "program": self._program,
+                "combiner": self._combiner,
+                "track_bppa": self._tracker is not None,
+                "agg_names": sorted(self._aggregators),
+                "rng_state": self.rng.getstate(),
+                "shm": (
+                    None
+                    if self._segment is None
+                    else self._segment.descriptor
+                ),
+            }
         snaps = []
         for idx in range(start, stop):
             state = dense_states[idx]
@@ -1010,6 +1146,20 @@ class ParallelPregelEngine(PregelEngine):
             self._disable_pool(f"program not picklable: {exc!r}")
             return False
         self._agg_list = sorted(self._aggregators)
+        self._ship_snapshot = False
+        if (
+            is_graph_snapshot(self._graph)
+            and self._graph.path is not None
+        ):
+            # Snapshot shipping additionally needs the partitioner on
+            # the rank side; an unpicklable one just falls back to the
+            # pickled-state payload, it does not cost the pool.
+            try:
+                pickle.dumps(self._partitioner, _PROTO)
+            except Exception:
+                pass
+            else:
+                self._ship_snapshot = True
         if (
             self._transport == "columnar"
             and self.transport_disabled_reason is None
@@ -1457,6 +1607,10 @@ class ParallelPregelEngine(PregelEngine):
                 if seen[dst] != stamp:
                     seen[dst] = stamp
                     dirty.append(dst)
+            if fabric.memory_budget is not None and touched:
+                # Same spill point as the serial flush: the lane is
+                # complete, delivery has not read it yet.
+                fabric.account_lane(rank, touched)
             if tracker is not None and pl["tracker"]:
                 for vid, sent, received, ops, size in pl["tracker"]:
                     tracker.record_vertex(

@@ -61,14 +61,29 @@ class StateStore:
         self.workers = [Worker(i) for i in range(num_workers)]
         self.states: Dict[Hashable, VertexState] = {}
         self.owner: Dict[Hashable, int] = {}
+        # The GraphSource seam: both the live dict Graph and the
+        # immutable CsrSnapshot yield per-vertex (neighbor, weight)
+        # rows in identical order through *_edge_items, so the states
+        # built here — and everything downstream — are byte-identical
+        # whichever representation backs the run.  Exotic graph-likes
+        # without the protocol fall back to the per-neighbor reads.
+        out_items = getattr(graph, "out_edge_items", None)
+        in_items = getattr(graph, "in_edge_items", None)
         for v in graph.vertices():
-            out_edges = {u: graph.weight(v, u) for u in graph.neighbors(v)}
-            if graph.directed:
+            if out_items is not None:
+                out_edges = dict(out_items(v))
+            else:
+                out_edges = {
+                    u: graph.weight(v, u) for u in graph.neighbors(v)
+                }
+            if not graph.directed:
+                in_edges = out_edges
+            elif in_items is not None:
+                in_edges = dict(in_items(v))
+            else:
                 in_edges = {
                     u: graph.weight(u, v) for u in graph.in_neighbors(v)
                 }
-            else:
-                in_edges = out_edges
             state = VertexState(
                 v,
                 value=program.initial_value(v, graph),

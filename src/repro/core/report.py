@@ -12,6 +12,7 @@ from repro.trace.attribution import (
     format_attribution,
 )
 from repro.trace.events import (
+    Barrier,
     FaultInjected,
     Handoff,
     Rollback,
@@ -131,6 +132,23 @@ def _payload_bytes_per_superstep(
     return payload
 
 
+def _peak_rss_per_superstep(events: Sequence[TraceEvent]) -> dict:
+    """Per-superstep coordinator peak RSS (bytes) of the stream's
+    last run, read off the barrier events with the same
+    last-execution-wins semantics as the payload table."""
+    rss: dict = {}
+    for e in events:
+        if (
+            isinstance(e, SuperstepStart)
+            and e.superstep == 0
+            and e.execution == 1
+        ):
+            rss = {}
+        elif isinstance(e, Barrier):
+            rss[e.superstep] = e.peak_rss_bytes
+    return rss
+
+
 def _kernel_tiers_per_superstep(events: Sequence[TraceEvent]) -> dict:
     """Per-superstep compute-kernel tiers of the stream's last run,
     with the same last-execution-wins semantics as the payload table:
@@ -155,15 +173,17 @@ def _kernel_tiers_per_superstep(events: Sequence[TraceEvent]) -> dict:
 def format_trace_report(events: Sequence[TraceEvent]) -> str:
     """Render a captured trace stream as a human-readable report.
 
-    Six sections: the event census, the per-superstep cost
+    Seven sections: the event census, the per-superstep cost
     attribution (which term of ``max(w, g*h, L)`` was binding), the
     per-worker straggler profile reconstructed from the committed
     worker profiles, the per-superstep boundary bytes (only when some
     superstep actually crossed a process boundary — i.e. the parallel
-    backend ran), the per-superstep compute-kernel tiers (only when
-    some superstep left the reference kernel — i.e. the dense fast
-    path or the vectorized tier ran), and — when the run was faulted
-    — the injected faults, rollbacks and path handoffs.
+    backend ran), the per-superstep coordinator peak RSS read off the
+    barrier events (only when the stream carries the memory report),
+    the per-superstep compute-kernel tiers (only when some superstep
+    left the reference kernel — i.e. the dense fast path or the
+    vectorized tier ran), and — when the run was faulted — the
+    injected faults, rollbacks and path handoffs.
 
     A trace may span several runs (``repro-table1 --trace`` captures
     every row's sweeps into one recorder); the attribution and
@@ -205,6 +225,21 @@ def format_trace_report(events: Sequence[TraceEvent]) -> str:
             )
         parts.append(
             f"  {'total':>9}  {sum(payload.values()):>13}"
+        )
+        parts.append("")
+
+    rss = _peak_rss_per_superstep(events)
+    if any(peak for peak in rss.values()):
+        parts.append("== memory (last run) ==")
+        parts.append(f"  {'superstep':>9}  {'peak_rss_mib':>12}")
+        for superstep in sorted(rss):
+            parts.append(
+                f"  {superstep:>9}  "
+                f"{rss[superstep] / (1 << 20):>12.1f}"
+            )
+        parts.append(
+            f"  {'max':>9}  "
+            f"{max(rss.values()) / (1 << 20):>12.1f}"
         )
         parts.append("")
 

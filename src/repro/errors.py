@@ -41,6 +41,53 @@ class DuplicateVertexError(GraphError, ValueError):
         self.vertex = vertex
 
 
+class EdgeListFormatError(GraphError, ValueError):
+    """An edge-list line could not be parsed.
+
+    Carries the 1-based line number and the offending text so a bad
+    file is diagnosable without re-reading it.
+    """
+
+    def __init__(self, lineno, line, reason):
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """An edge appeared twice where the caller required each once.
+
+    The mutable :class:`~repro.graph.graph.Graph` resolves duplicates
+    by updating in place; the strict edge-list readers and the
+    streamed CSR snapshot builder — whose row layout is frozen at
+    first sight of each edge — refuse them instead.
+    """
+
+    def __init__(self, u, v, lineno=None):
+        where = f" (line {lineno})" if lineno is not None else ""
+        super().__init__(
+            f"duplicate edge ({u!r}, {v!r}){where}"
+        )
+        self.u = u
+        self.v = v
+        self.lineno = lineno
+
+
+class SnapshotError(GraphError):
+    """A CSR snapshot could not be built, written, or opened."""
+
+
+class SnapshotCorruptionError(SnapshotError):
+    """An on-disk CSR snapshot failed its integrity checks.
+
+    Raised when the manifest is missing or undecodable, a section is
+    truncated, or a CRC-32 does not match — mirroring
+    :class:`CheckpointCorruptionError`: low-level decoding failures
+    never escape as raw tracebacks.
+    """
+
+
 class NotATreeError(GraphError, ValueError):
     """An operation requiring a tree was invoked on a non-tree graph."""
 

@@ -263,6 +263,32 @@ class Graph:
             return iter(self._pred[vertex])
         return iter(self._adj[vertex])
 
+    def out_edge_items(
+        self, vertex: VertexId
+    ) -> Iterator[Tuple[VertexId, float]]:
+        """``(neighbor, weight)`` pairs in row (edge-insertion) order.
+
+        The ``GraphSource`` read the BSP state store builds its
+        per-vertex edge dicts from — shared with
+        :class:`~repro.graph.snapshot.CsrSnapshot`, whose CSR rows
+        yield the identical sequence.
+        """
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        return (
+            (u, data.weight) for u, data in self._adj[vertex].items()
+        )
+
+    def in_edge_items(
+        self, vertex: VertexId
+    ) -> Iterator[Tuple[VertexId, float]]:
+        """``(in-neighbor, weight)`` pairs; equals
+        :meth:`out_edge_items` when undirected."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        row = self._pred[vertex] if self._directed else self._adj[vertex]
+        return ((u, data.weight) for u, data in row.items())
+
     def sorted_neighbors(self, vertex: VertexId) -> list:
         """Neighbors sorted by id — the adjacency-list order the Euler
         tour construction of the paper (§3.4.1) assumes."""

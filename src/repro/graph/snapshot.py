@@ -1,0 +1,883 @@
+"""Immutable CSR graph snapshots, optionally memory-mapped from disk.
+
+The mutable :class:`~repro.graph.graph.Graph` is a dict-of-dicts:
+every vertex row is a hash table of ``EdgeData`` objects, so resident
+memory scales with graph size and the Table-1 suite caps out at what
+fits in RAM.  :class:`CsrSnapshot` is the out-of-core answer — an
+*immutable* compressed-sparse-row view of the same graph:
+
+* ``out_offsets`` / ``out_targets`` / ``out_weights`` — forward
+  adjacency as flat int64/float64 columns over *positions* (the frozen
+  0..n-1 numbering of ``Graph.vertices()`` insertion order, which is
+  also the order the engines' :class:`~repro.graph.partition.
+  DenseIndex` is derived from);
+* the mirror ``in_*`` columns for directed graphs (reverse adjacency
+  in edge-insertion order, exactly matching ``Graph.in_neighbors``);
+* a type-tagged id table mapping positions back to the original
+  hashable vertex ids (an int64 column when every id is an int, a
+  pickled list otherwise — tuple and string ids round-trip exactly).
+
+A snapshot implements the :class:`Graph` *read* API — ``directed``,
+``num_vertices``, ``vertices()``, ``neighbors()``, ``in_neighbors()``,
+``weight()``, degrees, ``edges(data=True)``, labels — plus the
+``out_edge_items()`` / ``in_edge_items()`` pair that the runtime's
+``GraphSource`` seam prefers, so :class:`~repro.bsp.state.StateStore`,
+the dense fast path, fingerprinting and every vertex program work
+identically over a live ``Graph`` or a snapshot.  Iteration order is
+preserved bit for bit (vertex insertion order; per-row edge insertion
+order), which is what makes snapshot-backed runs byte-identical to
+in-memory runs.
+
+On-disk format
+--------------
+A snapshot directory holds one JSON manifest plus one binary data
+file, following the durable-checkpoint conventions of
+:mod:`repro.bsp.durability` (atomic tmp+fsync+rename writes, CRC'd
+sections, typed corruption errors)::
+
+    MANIFEST.json    # format version, counts, per-section index:
+                     #   {offset, length, crc32, typecode, count}
+    snapshot.bin     # the concatenated sections, raw little-endian
+                     # int64/float64 columns (or pickled payloads for
+                     # object sections: non-int ids, labels,
+                     # non-float weights)
+
+:meth:`CsrSnapshot.open` memory-maps ``snapshot.bin`` read-only —
+after the one-time CRC verification pass, the OS page cache is the
+only cache, so a rank that touches one shard's rows faults in only
+that shard's pages.  Every integrity failure raises
+:class:`~repro.errors.SnapshotCorruptionError`; raw pickle or struct
+tracebacks never escape.
+
+Disk-backed snapshots pickle as their path (ranks of the parallel
+backend re-open and re-map them instead of receiving adjacency over a
+pipe); in-RAM snapshots pickle by value.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pickle
+import sys
+import zlib
+from array import array
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import (
+    EdgeNotFoundError,
+    SnapshotCorruptionError,
+    SnapshotError,
+    VertexNotFoundError,
+)
+
+#: Version of the on-disk layout; bumped on incompatible changes.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+DATA_NAME = "snapshot.bin"
+
+_OFFSET_TYPECODE = "q"
+_WEIGHT_TYPECODE = "d"
+#: Manifest tag for sections stored as pickled Python objects.
+_PICKLE_TAG = "pickle"
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class _SnapshotEdge:
+    """Read-only stand-in for :class:`~repro.graph.graph.EdgeData` in
+    ``edges(data=True)`` — same ``weight`` / ``label`` attributes,
+    no shared mutability."""
+
+    __slots__ = ("weight", "label")
+
+    def __init__(self, weight: float, label: Any = None):
+        self.weight = weight
+        self.label = label
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"_SnapshotEdge(weight={self.weight!r}, "
+            f"label={self.label!r})"
+        )
+
+
+def _pack_weights(weights: List[Any]):
+    """The most compact exact representation of an edge-weight column.
+
+    ``None`` when every weight is the default ``1.0`` (the column is
+    omitted entirely); an ``array('d')`` when every weight is an exact
+    ``float`` (round-trips bit for bit); otherwise the list itself
+    (pickled on save), so int or exotic weights keep their exact type
+    and the byte-identity contract.
+    """
+    if all(type(w) is float for w in weights):
+        if all(w == 1.0 for w in weights):
+            return None
+        return array(_WEIGHT_TYPECODE, weights)
+    return list(weights)
+
+
+def _ids_storable_as_int64(ids: Sequence[Hashable]) -> bool:
+    return all(
+        type(v) is int and _INT64_MIN <= v <= _INT64_MAX for v in ids
+    )
+
+
+class CsrSnapshot:
+    """An immutable CSR view of a graph (see the module docstring).
+
+    Build one with :meth:`from_graph`, stream one from an edge list
+    with :func:`repro.graph.io.write_snapshot_from_edge_list`, or
+    memory-map a saved one with :meth:`open`.  The constructor wires
+    pre-built columns together and is not meant to be called directly.
+    """
+
+    def __init__(
+        self,
+        *,
+        directed: bool,
+        ids: List[Hashable],
+        out_offsets,
+        out_targets,
+        out_weights=None,
+        in_offsets=None,
+        in_targets=None,
+        in_weights=None,
+        num_edges: int,
+        vertex_labels: Optional[Dict[int, Any]] = None,
+        edge_labels: Optional[Dict[Tuple[int, int], Any]] = None,
+        path: Optional[str] = None,
+        _mmap=None,
+        _file=None,
+    ):
+        self._directed = directed
+        self._ids = ids
+        self._pos: Dict[Hashable, int] = {
+            v: i for i, v in enumerate(ids)
+        }
+        if len(self._pos) != len(ids):
+            raise SnapshotError("duplicate vertex ids in snapshot")
+        self._out_off = out_offsets
+        self._out_tgt = out_targets
+        self._out_w = out_weights
+        if directed:
+            self._in_off = in_offsets
+            self._in_tgt = in_targets
+            self._in_w = in_weights
+        else:
+            self._in_off = out_offsets
+            self._in_tgt = out_targets
+            self._in_w = out_weights
+        self._num_edges = num_edges
+        self._vlabels = vertex_labels or {}
+        self._elabels = edge_labels or {}
+        self._path = path
+        self._mmap = _mmap
+        self._fh = _file
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph) -> "CsrSnapshot":
+        """Freeze a live graph (or any ``GraphSource``) into CSR
+        columns, preserving vertex and per-row edge iteration order
+        exactly."""
+        ids = list(graph.vertices())
+        pos = {v: i for i, v in enumerate(ids)}
+        out_off = array(_OFFSET_TYPECODE, [0])
+        out_tgt = array(_OFFSET_TYPECODE)
+        out_weights: List[Any] = []
+        for v in ids:
+            for u, w in graph.out_edge_items(v):
+                out_tgt.append(pos[u])
+                out_weights.append(w)
+            out_off.append(len(out_tgt))
+        in_off = in_tgt = None
+        in_w = None
+        if graph.directed:
+            in_off = array(_OFFSET_TYPECODE, [0])
+            in_tgt = array(_OFFSET_TYPECODE)
+            in_weights: List[Any] = []
+            for v in ids:
+                for u, w in graph.in_edge_items(v):
+                    in_tgt.append(pos[u])
+                    in_weights.append(w)
+                in_off.append(len(in_tgt))
+            in_w = _pack_weights(in_weights)
+        vlabels = {}
+        for i, v in enumerate(ids):
+            label = graph.label(v)
+            if label is not None:
+                vlabels[i] = label
+        elabels: Dict[Tuple[int, int], Any] = {}
+        for u, v, data in graph.edges(data=True):
+            if data.label is not None:
+                pu, pv = pos[u], pos[v]
+                elabels[(pu, pv)] = data.label
+                if not graph.directed:
+                    elabels[(pv, pu)] = data.label
+        return cls(
+            directed=graph.directed,
+            ids=ids,
+            out_offsets=out_off,
+            out_targets=out_tgt,
+            out_weights=_pack_weights(out_weights),
+            in_offsets=in_off,
+            in_targets=in_tgt,
+            in_weights=in_w,
+            num_edges=graph.num_edges,
+            vertex_labels=vlabels,
+            edge_labels=elabels,
+        )
+
+    def to_graph(self):
+        """Materialize back into a mutable
+        :class:`~repro.graph.graph.Graph` (tests and tooling; the
+        runtime never needs this)."""
+        from repro.graph.graph import Graph
+
+        g = Graph(directed=self._directed)
+        for i, v in enumerate(self._ids):
+            g.add_vertex(v, self._vlabels.get(i))
+        for u, v, data in self.edges(data=True):
+            g.add_edge(u, v, weight=data.weight, label=data.label)
+        return g
+
+    # ------------------------------------------------------------------
+    # Graph read API
+    # ------------------------------------------------------------------
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._ids)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def path(self) -> Optional[str]:
+        """The on-disk directory backing this snapshot (``None`` for
+        in-RAM snapshots)."""
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self._pos
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        kind = "directed" if self._directed else "undirected"
+        where = f" path={self._path!r}" if self._path else ""
+        return (
+            f"<CsrSnapshot {kind} n={self.num_vertices} "
+            f"m={self.num_edges}{where}>"
+        )
+
+    def has_vertex(self, vertex: Hashable) -> bool:
+        return vertex in self._pos
+
+    def vertices(self) -> Iterator[Hashable]:
+        return iter(self._ids)
+
+    def label(self, vertex: Hashable) -> Any:
+        return self._vlabels.get(self._position(vertex))
+
+    def _position(self, vertex: Hashable) -> int:
+        pos = self._pos.get(vertex)
+        if pos is None:
+            raise VertexNotFoundError(vertex)
+        return pos
+
+    def neighbors(self, vertex: Hashable) -> Iterator[Hashable]:
+        pos = self._position(vertex)
+        ids = self._ids
+        tgt = self._out_tgt
+        lo, hi = self._out_off[pos], self._out_off[pos + 1]
+        return (ids[tgt[i]] for i in range(lo, hi))
+
+    out_neighbors = neighbors
+
+    def in_neighbors(self, vertex: Hashable) -> Iterator[Hashable]:
+        pos = self._position(vertex)
+        ids = self._ids
+        tgt = self._in_tgt
+        lo, hi = self._in_off[pos], self._in_off[pos + 1]
+        return (ids[tgt[i]] for i in range(lo, hi))
+
+    def sorted_neighbors(self, vertex: Hashable) -> list:
+        if vertex not in self._pos:
+            return []
+        return sorted(self.neighbors(vertex))
+
+    def degree(self, vertex: Hashable) -> int:
+        pos = self._position(vertex)
+        return self._out_off[pos + 1] - self._out_off[pos]
+
+    out_degree = degree
+
+    def in_degree(self, vertex: Hashable) -> int:
+        pos = self._position(vertex)
+        return self._in_off[pos + 1] - self._in_off[pos]
+
+    def total_degree(self, vertex: Hashable) -> int:
+        if self._directed:
+            return self.in_degree(vertex) + self.out_degree(vertex)
+        return self.degree(vertex)
+
+    def out_edge_items(
+        self, vertex: Hashable
+    ) -> Iterator[Tuple[Hashable, Any]]:
+        """``(neighbor, weight)`` pairs in row (edge-insertion) order
+        — the ``GraphSource`` fast read the state store builds its
+        per-vertex edge dicts from."""
+        pos = self._position(vertex)
+        lo, hi = self._out_off[pos], self._out_off[pos + 1]
+        ids = self._ids
+        tgt = self._out_tgt
+        w = self._out_w
+        if w is None:
+            for i in range(lo, hi):
+                yield ids[tgt[i]], 1.0
+        else:
+            for i in range(lo, hi):
+                yield ids[tgt[i]], w[i]
+
+    def in_edge_items(
+        self, vertex: Hashable
+    ) -> Iterator[Tuple[Hashable, Any]]:
+        """``(in-neighbor, weight)`` pairs in reverse-row order."""
+        pos = self._position(vertex)
+        lo, hi = self._in_off[pos], self._in_off[pos + 1]
+        ids = self._ids
+        tgt = self._in_tgt
+        w = self._in_w
+        if w is None:
+            for i in range(lo, hi):
+                yield ids[tgt[i]], 1.0
+        else:
+            for i in range(lo, hi):
+                yield ids[tgt[i]], w[i]
+
+    def _find_slot(self, upos: int, vpos: int) -> int:
+        """The flat column index of edge ``(upos, vpos)`` in the
+        forward adjacency, or -1."""
+        tgt = self._out_tgt
+        for i in range(self._out_off[upos], self._out_off[upos + 1]):
+            if tgt[i] == vpos:
+                return i
+        return -1
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        upos = self._pos.get(u)
+        vpos = self._pos.get(v)
+        if upos is None or vpos is None:
+            return False
+        return self._find_slot(upos, vpos) >= 0
+
+    def weight(self, u: Hashable, v: Hashable) -> float:
+        upos = self._pos.get(u)
+        vpos = self._pos.get(v)
+        slot = (
+            self._find_slot(upos, vpos)
+            if upos is not None and vpos is not None
+            else -1
+        )
+        if slot < 0:
+            raise EdgeNotFoundError(u, v)
+        return 1.0 if self._out_w is None else self._out_w[slot]
+
+    def edge_label(self, u: Hashable, v: Hashable) -> Any:
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        return self._elabels.get((self._pos[u], self._pos[v]))
+
+    def edges(self, data: bool = False) -> Iterator[Tuple]:
+        """Iterate edges in the same order and orientation as the
+        source :class:`Graph`: rows in vertex order, row entries in
+        edge-insertion order, each undirected edge yielded once from
+        its earlier-positioned endpoint (both directions of an
+        undirected edge enter the adjacency simultaneously, so the
+        earlier row is always where ``Graph.edges`` first sees it)."""
+        ids = self._ids
+        off, tgt, w = self._out_off, self._out_tgt, self._out_w
+        for p in range(len(ids)):
+            for i in range(off[p], off[p + 1]):
+                q = tgt[i]
+                if not self._directed and q < p:
+                    continue
+                if data:
+                    yield (
+                        ids[p],
+                        ids[q],
+                        _SnapshotEdge(
+                            1.0 if w is None else w[i],
+                            self._elabels.get((p, q)),
+                        ),
+                    )
+                else:
+                    yield ids[p], ids[q]
+
+    # ------------------------------------------------------------------
+    # Position-level reads (the dense fast path compiles from these
+    # without re-hashing ids)
+    # ------------------------------------------------------------------
+
+    def position_of(self, vertex: Hashable) -> int:
+        """The frozen 0..n-1 position of ``vertex``."""
+        return self._position(vertex)
+
+    def out_row_positions(self, pos: int):
+        """The forward-adjacency row of position ``pos`` as target
+        positions (a zero-copy slice of the CSR column)."""
+        return self._out_tgt[self._out_off[pos]:self._out_off[pos + 1]]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _column_sections(self) -> List[Tuple[str, bytes, str, int]]:
+        """``(name, payload, typecode, count)`` for every section this
+        snapshot needs on disk (``typecode`` is an array code or the
+        pickle tag)."""
+
+        def raw(col, typecode):
+            if isinstance(col, array):
+                return col.tobytes()
+            return memoryview(col).tobytes()
+
+        def weight_section(name, col):
+            if col is None:
+                return None
+            if isinstance(col, list):
+                return (
+                    name,
+                    pickle.dumps(col, pickle.HIGHEST_PROTOCOL),
+                    _PICKLE_TAG,
+                    len(col),
+                )
+            return (
+                name,
+                raw(col, _WEIGHT_TYPECODE),
+                _WEIGHT_TYPECODE,
+                len(col),
+            )
+
+        sections = [
+            (
+                "out_offsets",
+                raw(self._out_off, _OFFSET_TYPECODE),
+                _OFFSET_TYPECODE,
+                len(self._out_off),
+            ),
+            (
+                "out_targets",
+                raw(self._out_tgt, _OFFSET_TYPECODE),
+                _OFFSET_TYPECODE,
+                len(self._out_tgt),
+            ),
+        ]
+        ws = weight_section("out_weights", self._out_w)
+        if ws is not None:
+            sections.append(ws)
+        if self._directed:
+            sections.append(
+                (
+                    "in_offsets",
+                    raw(self._in_off, _OFFSET_TYPECODE),
+                    _OFFSET_TYPECODE,
+                    len(self._in_off),
+                )
+            )
+            sections.append(
+                (
+                    "in_targets",
+                    raw(self._in_tgt, _OFFSET_TYPECODE),
+                    _OFFSET_TYPECODE,
+                    len(self._in_tgt),
+                )
+            )
+            ws = weight_section("in_weights", self._in_w)
+            if ws is not None:
+                sections.append(ws)
+        if _ids_storable_as_int64(self._ids):
+            sections.append(
+                (
+                    "ids",
+                    array(_OFFSET_TYPECODE, self._ids).tobytes(),
+                    _OFFSET_TYPECODE,
+                    len(self._ids),
+                )
+            )
+        else:
+            sections.append(
+                (
+                    "ids",
+                    pickle.dumps(
+                        self._ids, pickle.HIGHEST_PROTOCOL
+                    ),
+                    _PICKLE_TAG,
+                    len(self._ids),
+                )
+            )
+        if self._vlabels:
+            sections.append(
+                (
+                    "vertex_labels",
+                    pickle.dumps(
+                        self._vlabels, pickle.HIGHEST_PROTOCOL
+                    ),
+                    _PICKLE_TAG,
+                    len(self._vlabels),
+                )
+            )
+        if self._elabels:
+            sections.append(
+                (
+                    "edge_labels",
+                    pickle.dumps(
+                        self._elabels, pickle.HIGHEST_PROTOCOL
+                    ),
+                    _PICKLE_TAG,
+                    len(self._elabels),
+                )
+            )
+        return sections
+
+    def save(self, directory: str) -> str:
+        """Write this snapshot under ``directory`` (created if
+        missing) with durable-checkpoint conventions: the data file
+        and the manifest are each written atomically, every section
+        carries its CRC-32 and byte length, and a crash mid-write can
+        never leave a half-written file under a valid name."""
+        from repro.bsp.durability import atomic_write
+
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        sections = self._column_sections()
+        index: Dict[str, Dict[str, Any]] = {}
+        blob = bytearray()
+        for name, payload, typecode, count in sections:
+            index[name] = {
+                "offset": len(blob),
+                "length": len(payload),
+                "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+                "typecode": typecode,
+                "count": count,
+            }
+            blob.extend(payload)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "kind": "csr-snapshot",
+            "directed": self._directed,
+            "num_vertices": self.num_vertices,
+            "num_edges": self._num_edges,
+            "byteorder": sys.byteorder,
+            "itemsize": array(_OFFSET_TYPECODE).itemsize,
+            "data_file": DATA_NAME,
+            "sections": index,
+        }
+        atomic_write(os.path.join(directory, DATA_NAME), bytes(blob))
+        atomic_write(
+            os.path.join(directory, MANIFEST_NAME),
+            json.dumps(manifest, indent=2, sort_keys=True).encode(
+                "utf-8"
+            ),
+        )
+        return directory
+
+    @classmethod
+    def open(cls, directory: str) -> "CsrSnapshot":
+        """Memory-map a saved snapshot read-only.
+
+        Section lengths and CRC-32s are verified once up front
+        (sequential reads); after that the OS page cache is the only
+        cache.  Any integrity failure raises
+        :class:`~repro.errors.SnapshotCorruptionError`.
+        """
+        directory = os.path.abspath(os.fspath(directory))
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(manifest_path, "rb") as fh:
+                manifest = json.loads(fh.read().decode("utf-8"))
+        except FileNotFoundError:
+            raise SnapshotError(
+                f"no snapshot manifest at {manifest_path!r}"
+            ) from None
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            raise SnapshotCorruptionError(
+                f"unreadable snapshot manifest {manifest_path!r}: "
+                f"{exc}"
+            ) from None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("kind") != "csr-snapshot"
+        ):
+            raise SnapshotCorruptionError(
+                f"{manifest_path!r} is not a CSR snapshot manifest"
+            )
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot format version "
+                f"{manifest.get('format_version')!r} is not supported "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        if manifest.get("byteorder") != sys.byteorder or manifest.get(
+            "itemsize"
+        ) != array(_OFFSET_TYPECODE).itemsize:
+            raise SnapshotError(
+                "snapshot was written on an incompatible host "
+                f"(byteorder={manifest.get('byteorder')!r}, "
+                f"itemsize={manifest.get('itemsize')!r})"
+            )
+        data_path = os.path.join(
+            directory, manifest.get("data_file", DATA_NAME)
+        )
+        try:
+            fh = open(data_path, "rb")
+        except OSError as exc:
+            raise SnapshotCorruptionError(
+                f"snapshot data file missing: {exc}"
+            ) from None
+        size = os.fstat(fh.fileno()).st_size
+        if size:
+            mapped = mmap.mmap(
+                fh.fileno(), 0, access=mmap.ACCESS_READ
+            )
+            buf = memoryview(mapped)
+        else:
+            mapped = None
+            buf = memoryview(b"")
+
+        def section_bytes(name, entry):
+            offset, length = entry.get("offset"), entry.get("length")
+            if (
+                not isinstance(offset, int)
+                or not isinstance(length, int)
+                or offset < 0
+                or length < 0
+                or offset + length > len(buf)
+            ):
+                raise SnapshotCorruptionError(
+                    f"snapshot section {name!r} is out of bounds "
+                    f"(offset={offset!r}, length={length!r}, "
+                    f"file size {len(buf)})"
+                )
+            chunk = buf[offset:offset + length]
+            if zlib.crc32(chunk) & 0xFFFFFFFF != entry.get("crc32"):
+                raise SnapshotCorruptionError(
+                    f"snapshot section {name!r} failed its CRC-32 "
+                    "check"
+                )
+            return chunk
+
+        sections = manifest.get("sections")
+        if not isinstance(sections, dict):
+            raise SnapshotCorruptionError(
+                f"{manifest_path!r} has no section index"
+            )
+
+        def column(name, typecode, required=True):
+            entry = sections.get(name)
+            if entry is None:
+                if required:
+                    raise SnapshotCorruptionError(
+                        f"snapshot section {name!r} is missing"
+                    )
+                return None
+            chunk = section_bytes(name, entry)
+            if entry.get("typecode") == _PICKLE_TAG:
+                try:
+                    return pickle.loads(bytes(chunk))
+                except Exception as exc:
+                    raise SnapshotCorruptionError(
+                        f"snapshot section {name!r} failed to "
+                        f"decode: {exc}"
+                    ) from None
+            if entry.get("typecode") != typecode:
+                raise SnapshotCorruptionError(
+                    f"snapshot section {name!r} has typecode "
+                    f"{entry.get('typecode')!r}, expected "
+                    f"{typecode!r}"
+                )
+            return chunk.cast(typecode)
+
+        try:
+            directed = bool(manifest.get("directed"))
+            out_off = column("out_offsets", _OFFSET_TYPECODE)
+            out_tgt = column("out_targets", _OFFSET_TYPECODE)
+            out_w = column(
+                "out_weights", _WEIGHT_TYPECODE, required=False
+            )
+            in_off = in_tgt = in_w = None
+            if directed:
+                in_off = column("in_offsets", _OFFSET_TYPECODE)
+                in_tgt = column("in_targets", _OFFSET_TYPECODE)
+                in_w = column(
+                    "in_weights", _WEIGHT_TYPECODE, required=False
+                )
+            ids_col = column("ids", _OFFSET_TYPECODE)
+            ids = (
+                ids_col
+                if isinstance(ids_col, list)
+                else list(ids_col)
+            )
+            vlabels = column(
+                "vertex_labels", _PICKLE_TAG, required=False
+            )
+            elabels = column(
+                "edge_labels", _PICKLE_TAG, required=False
+            )
+            n = manifest.get("num_vertices")
+            if len(ids) != n or len(out_off) != n + 1:
+                raise SnapshotCorruptionError(
+                    "snapshot column lengths disagree with the "
+                    f"manifest (n={n!r}, ids={len(ids)}, "
+                    f"offsets={len(out_off)})"
+                )
+            return cls(
+                directed=directed,
+                ids=ids,
+                out_offsets=out_off,
+                out_targets=out_tgt,
+                out_weights=out_w,
+                in_offsets=in_off,
+                in_targets=in_tgt,
+                in_weights=in_w,
+                num_edges=int(manifest.get("num_edges", 0)),
+                vertex_labels=vlabels,
+                edge_labels=elabels,
+                path=directory,
+                _mmap=mapped,
+                _file=fh,
+            )
+        except BaseException:
+            buf.release()
+            if mapped is not None:
+                try:
+                    mapped.close()
+                except BufferError:
+                    # Column views created before the failing section
+                    # are still referenced by the propagating
+                    # traceback's frame; the map closes when they are
+                    # collected.
+                    pass
+            fh.close()
+            raise
+
+    def close(self) -> None:
+        """Release the mmap (no-op for in-RAM snapshots).  Reads
+        after close raise ``ValueError`` from the released views."""
+        # Drop every view into the map before closing it; a surviving
+        # exported buffer would make mmap.close() raise BufferError.
+        self._out_off = self._out_tgt = self._out_w = None
+        self._in_off = self._in_tgt = self._in_w = None
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+            self._mmap = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        if self._path is not None:
+            # Disk-backed snapshots travel as their path: a rank
+            # re-opens and mmaps only the pages it touches instead of
+            # receiving the adjacency over a pipe.
+            return (CsrSnapshot.open, (self._path,))
+        return (
+            _rebuild_snapshot,
+            (
+                self._directed,
+                self._ids,
+                _plain_column(self._out_off, _OFFSET_TYPECODE),
+                _plain_column(self._out_tgt, _OFFSET_TYPECODE),
+                _plain_column(self._out_w, _WEIGHT_TYPECODE),
+                _plain_column(self._in_off, _OFFSET_TYPECODE)
+                if self._directed
+                else None,
+                _plain_column(self._in_tgt, _OFFSET_TYPECODE)
+                if self._directed
+                else None,
+                _plain_column(self._in_w, _WEIGHT_TYPECODE)
+                if self._directed
+                else None,
+                self._num_edges,
+                self._vlabels,
+                self._elabels,
+            ),
+        )
+
+
+def _plain_column(col, typecode):
+    """A picklable copy of a CSR column (mmap views become arrays)."""
+    if col is None or isinstance(col, (array, list)):
+        return col
+    return array(typecode, col)
+
+
+def _rebuild_snapshot(
+    directed,
+    ids,
+    out_off,
+    out_tgt,
+    out_w,
+    in_off,
+    in_tgt,
+    in_w,
+    num_edges,
+    vlabels,
+    elabels,
+):
+    return CsrSnapshot(
+        directed=directed,
+        ids=ids,
+        out_offsets=out_off,
+        out_targets=out_tgt,
+        out_weights=out_w,
+        in_offsets=in_off,
+        in_targets=in_tgt,
+        in_weights=in_w,
+        num_edges=num_edges,
+        vertex_labels=vlabels,
+        edge_labels=elabels,
+    )
+
+
+def is_graph_snapshot(obj: Any) -> bool:
+    """Whether ``obj`` is a :class:`CsrSnapshot` (the runtime's cheap
+    "is this graph source immutable and position-addressed?" check)."""
+    return isinstance(obj, CsrSnapshot)

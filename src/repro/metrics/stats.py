@@ -9,10 +9,34 @@ time-processor product ``p * T``.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.metrics.cost_model import BSPCostModel
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's peak resident set size in bytes, or ``None``
+    where the ``resource`` module is unavailable.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalized to bytes here.  The value is a high-water mark — it
+    never decreases over a process's lifetime — which is exactly what
+    the out-of-core benchmarks need: "did this workload ever need
+    more memory than the budget?"
+    """
+    if resource is None:  # pragma: no cover - non-POSIX hosts
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - host dependent
+        return int(peak)
+    return int(peak) * 1024
 
 
 @dataclass
@@ -48,6 +72,12 @@ class SuperstepWall:
     the wall columns — the tiers are byte-identical by construction,
     so the tier used is never part of the determinism contract
     (``None`` on engines predating the tier report).
+
+    ``peak_rss_bytes`` is the coordinator process's peak resident set
+    size (:func:`peak_rss_bytes`) sampled as the superstep committed —
+    a host measurement like the wall columns, outside the determinism
+    contract (``None`` on engines predating the memory report or on
+    hosts without ``resource``).
     """
 
     superstep: int
@@ -55,6 +85,7 @@ class SuperstepWall:
     barrier_seconds: List[float]
     payload_bytes: Optional[List[int]] = None
     kernel_tier: Optional[str] = None
+    peak_rss_bytes: Optional[int] = None
 
     @property
     def elapsed(self) -> float:
@@ -254,6 +285,14 @@ class RunStats:
         default=None, compare=False, repr=False
     )
 
+    #: Peak resident set size of the process at run end
+    #: (:func:`peak_rss_bytes`), or ``None`` when not recorded.  A
+    #: host measurement like ``wall`` — excluded from equality and
+    #: pickling for the same reason.
+    peak_rss_bytes: Optional[int] = field(
+        default=None, compare=False, repr=False
+    )
+
     # -- fault-tolerance accounting (engine-maintained) ----------------
     #: Checkpoints written over the run.
     checkpoints_written: int = 0
@@ -281,11 +320,13 @@ class RunStats:
         # harness and the bench fingerprints rely on this.
         state = dict(self.__dict__)
         state["wall"] = None
+        state["peak_rss_bytes"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self.__dict__.setdefault("wall", None)
+        self.__dict__.setdefault("peak_rss_bytes", None)
 
     def record_wall(self, wall: SuperstepWall) -> None:
         """Append one superstep's measured wall profile."""

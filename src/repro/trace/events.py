@@ -129,13 +129,23 @@ class Barrier(TraceEvent):
     """The superstep's synchronization barrier: every worker finished
     its compute pass and delivery moved ``delivered`` logical messages
     (an ``h``-relation of size ``h``) into the next superstep's
-    mailboxes."""
+    mailboxes.
+
+    ``peak_rss_bytes`` is the coordinating process's peak resident
+    set size sampled at the barrier — a host measurement like the
+    worker wall columns, informational by the same rule (0 on events
+    predating the memory report or on hosts without ``resource``).
+    """
 
     superstep: int
     h: float
     delivered: int
+    peak_rss_bytes: int = 0
 
     kind: ClassVar[str] = "barrier"
+    informational: ClassVar[FrozenSet[str]] = frozenset(
+        {"peak_rss_bytes"}
+    )
 
 
 @dataclass(frozen=True)

@@ -1,12 +1,14 @@
-"""Differential fuzzing across the five execution paths.
+"""Differential fuzzing across the six execution paths.
 
 For a deterministic matrix of seeded random graphs x workloads x
-worker counts x fault plans, every case runs five times — on the
+worker counts x fault plans, every case runs six times — on the
 reference dict path, the dense fast path (vectorization pinned off),
-the dense fast path with the vectorized kernel tier engaged, and the
-process-parallel backend on each of its two transports (shared-memory
-columnar and pickle) — and all five runs must be **byte-identical**:
-same values
+the dense fast path with the vectorized kernel tier engaged, the
+dense fast path against a memory-mapped :class:`CsrSnapshot` under a
+1-byte message budget (every lane spills to disk and replays at
+delivery), and the process-parallel backend on each of its two
+transports (shared-memory columnar and pickle) — and all six runs
+must be **byte-identical**: same values
 (compared per entry through pickle, so identity sharing inside one
 backend cannot mask or fake a difference), same ``RunStats`` ledgers,
 same BPPA observation, same aggregate history.
@@ -43,6 +45,7 @@ from repro.bsp import (
 )
 from repro.bsp.combiner import resolve_combiner
 from repro.graph import erdos_renyi_graph
+from repro.graph.snapshot import CsrSnapshot
 from tests.conftest import WORKLOADS
 
 WORKER_COUNTS = [1, 2, 4, 7]
@@ -60,10 +63,15 @@ FAULT_MODES = [
 #: stays covered on every recipe; "fast+vectorized" requires the
 #: kernel tier for programs that register one (and runs auto-engage
 #: for the rest, proving the silent fallback is harmless).
+#: "snapshot" re-runs the dense fast path against a saved-and-mmap'd
+#: ``CsrSnapshot`` of the same graph under ``memory_budget=1``, so
+#: every buffered message lane spills to disk and replays at delivery
+#: — covering the out-of-core storage *and* spill tiers in one path.
 #: "parallel" pins the pickle transport explicitly (the fallback
 #: tier); "parallel-shm" is the shared-memory columnar transport.
 BACKENDS = [
-    "reference", "fast", "fast+vectorized", "parallel", "parallel-shm",
+    "reference", "fast", "fast+vectorized", "snapshot",
+    "parallel", "parallel-shm",
 ]
 
 #: Workloads whose program class registers a vectorized kernel —
@@ -110,6 +118,12 @@ def _run_case(graph, make_program, natural, recipe, backend, workers,
             use_vectorized=True if program.vectorizable() else None,
             **kwargs,
         )
+    elif backend == "snapshot":
+        engine = create_engine(
+            graph, make_program(), backend="serial",
+            use_fast_path=True, use_vectorized=False,
+            memory_budget=1, **kwargs,
+        )
     else:
         transport = (
             "columnar" if backend == "parallel-shm" else "pickle"
@@ -153,7 +167,7 @@ def canonical(result):
 )
 def test_differential_fuzz(
     wl_name, _graph, make_program, natural, workers, fault_name,
-    make_plan,
+    make_plan, tmp_path,
 ):
     recipe = _case_recipe(wl_name, workers, fault_name)
     repro = (
@@ -170,11 +184,15 @@ def test_differential_fuzz(
         seed=recipe["graph_seed"],
         directed=recipe["directed"],
     )
+    snap_dir = str(tmp_path / "snap")
+    CsrSnapshot.from_graph(graph).save(snap_dir)
+    snap = CsrSnapshot.open(snap_dir)
     results = {}
     engines = {}
     for backend in BACKENDS:
         engines[backend], results[backend] = _run_case(
-            graph, make_program, natural, recipe, backend, workers,
+            snap if backend == "snapshot" else graph,
+            make_program, natural, recipe, backend, workers,
             make_plan,
         )
     ref = results["reference"]
@@ -215,6 +233,17 @@ def test_differential_fuzz(
         assert "vectorized" in vec_tiers, (
             f"fast+vectorized never left the dense tier; {repro}"
         )
+    # Spill honesty: under a 1-byte budget every non-empty lane
+    # spills, so any case that sent messages must have hit the disk
+    # tier (the snapshot path must not pass the comparison by never
+    # exercising the spill machinery).
+    total_sent = sum(
+        sum(e.sent_logical) for e in ref.stats.supersteps
+    )
+    snap_fabric = engines["snapshot"]._fabric
+    if total_sent > 0:
+        assert snap_fabric.spilled_lanes > 0, f"snapshot; {repro}"
+        assert snap_fabric.spilled_bytes > 0, f"snapshot; {repro}"
     # The canonical workloads never mutate topology or draw RNG, so
     # the pool must have run every superstep (the parallel runs must
     # not silently degrade to serial and pass the comparison that
